@@ -1,0 +1,70 @@
+"""Extension: halo-exchange pattern speedups.
+
+The paper's benchmark suite [14] ships a halo exchange next to Sweep3D
+but the paper's evaluation shows only the sweep; this extension runs
+the halo with the same designs.  Unlike the wavefront, all ranks
+exchange concurrently, so the fabric (including ingress contention at
+every rank) is loaded uniformly.
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from benchmarks.common import ploggp_aggregator, timer_aggregator
+from repro.bench.halo import run_halo
+from repro.bench.reporting import format_speedup_series
+from repro.ib.topology import DragonflyPlus
+from repro.units import KiB, MiB, ms, us
+
+GRID = (8, 8)
+N_THREADS = 16
+SIZES = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]
+SIZES_FAST = [256 * KiB, 1 * MiB]
+
+
+def run_ext_halo(grid=GRID, sizes=SIZES, iterations=10, warmup=3,
+                 topology=None):
+    designs = {
+        "ploggp": ploggp_aggregator(),
+        "timer": timer_aggregator(us(8)),
+    }
+    series = {name: {} for name in designs}
+    for size in sizes:
+        base = run_halo(None, grid=grid, n_threads=N_THREADS,
+                        face_bytes=size, compute=ms(1), noise_fraction=0.01,
+                        iterations=iterations, warmup=warmup,
+                        topology=topology).mean_comm_time
+        for name, module in designs.items():
+            ours = run_halo(module, grid=grid, n_threads=N_THREADS,
+                            face_bytes=size, compute=ms(1),
+                            noise_fraction=0.01, iterations=iterations,
+                            warmup=warmup, topology=topology).mean_comm_time
+            series[name][size] = base / ours
+    return series
+
+
+def test_ext_halo(benchmark):
+    series = benchmark.pedantic(
+        run_ext_halo, args=((4, 4), SIZES_FAST, 3, 1), rounds=1,
+        iterations=1)
+    mid = 256 * KiB
+    # Aggregation helps the halo at medium face sizes too.
+    assert series["ploggp"][mid] > 1.2
+    benchmark.extra_info["halo_speedup_ploggp_256KiB"] = round(
+        series["ploggp"][mid], 2)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    topo = DragonflyPlus(nodes_per_leaf=16, leaves_per_group=2)
+    print(f"grid {GRID[0]}x{GRID[1]} x {N_THREADS} threads, Dragonfly+ "
+          f"latencies")
+    print(format_speedup_series(
+        run_ext_halo(topology=topo)))
+    sys.exit(0)

@@ -1,0 +1,66 @@
+"""Fig. 3: PLogGP-modelled completion time across partition counts.
+
+The paper feeds Netgauge-measured Niagara LogGP parameters into the
+PLogGP model with a 4 ms laggard delay and plots modelled time to
+completion against message size for partition counts 1..32.  Expected
+shape: low counts win for small/medium messages, high counts win for
+large ones, with the crossover in the MiB range.
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from repro.bench.reporting import format_table
+from repro.model import model_curve
+from repro.model.tables import NIAGARA_LOGGP
+from repro.units import KiB, MiB, fmt_bytes, fmt_time, ms
+
+PARTITION_COUNTS = [1, 2, 4, 8, 16, 32]
+SIZES = [16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB,
+         64 * MiB, 256 * MiB]
+DELAY = ms(4)
+
+
+def run_fig3(sizes=SIZES, counts=PARTITION_COUNTS, delay=DELAY):
+    """{partition count: [completion time per size]}."""
+    return {
+        n: model_curve(NIAGARA_LOGGP, sizes, n_transport=n, n_user=n,
+                       delay=delay)
+        for n in counts
+    }
+
+
+def report(curves, sizes=SIZES):
+    rows = []
+    for i, size in enumerate(sizes):
+        best = min(curves, key=lambda n: curves[n][i])
+        rows.append([fmt_bytes(size)]
+                    + [fmt_time(curves[n][i]) for n in curves]
+                    + [best])
+    return format_table(
+        ["size"] + [f"{n} parts" for n in curves] + ["best"], rows)
+
+
+def test_fig03_model_curves(benchmark):
+    curves = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    small_idx, large_idx = 0, len(SIZES) - 1
+    # Fig. 3 shape: 1 partition beats 32 at the small end and loses at
+    # the large end.
+    assert curves[1][small_idx] < curves[32][small_idx]
+    assert curves[32][large_idx] < curves[1][large_idx]
+    benchmark.extra_info["best_at_16KiB"] = min(
+        curves, key=lambda n: curves[n][small_idx])
+    benchmark.extra_info["best_at_256MiB"] = min(
+        curves, key=lambda n: curves[n][large_idx])
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print(report(run_fig3()))
+    sys.exit(0)

@@ -1,0 +1,68 @@
+"""Fig. 6: overhead benchmark, 32 user partitions, transport-count sweep.
+
+Keeps 2 QPs fixed and varies the number of transport partitions,
+reporting speedup over ``part_persist``.  Expected shape (Section
+V-B1): small messages show only a sub-2% spread between transport
+counts; past ~16 KiB more transport partitions win; speedup falls to
+~1.0 near wire saturation (~4 MiB).
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from benchmarks.common import (
+    FAST_PTP,
+    OVERHEAD_SIZES,
+    OVERHEAD_SIZES_FAST,
+    PTP_ITER,
+)
+from repro.bench.overhead import overhead_speedup_series
+from repro.bench.reporting import format_speedup_series
+from repro.core import FixedAggregation
+from repro.units import KiB, MiB
+
+N_USER = 32
+TRANSPORT_COUNTS = [2, 8, 32]
+N_QPS = 2
+
+
+def run_fig6(sizes, iter_kwargs):
+    baseline_cache = {}
+    return {
+        f"T={n_transport}": overhead_speedup_series(
+            FixedAggregation(n_transport, N_QPS),
+            n_user=N_USER, sizes=sizes,
+            baseline_cache=baseline_cache, **iter_kwargs)
+        for n_transport in TRANSPORT_COUNTS
+    }
+
+
+def test_fig06_transport_partition_sweep(benchmark):
+    series = benchmark.pedantic(
+        run_fig6, args=(OVERHEAD_SIZES_FAST, FAST_PTP,), rounds=1, iterations=1)
+    # Fewer transport partitions are (directionally) better for small
+    # messages.  The paper measured only a 0.16-1.77% spread here; our
+    # per-WR completion costs separate the extremes more — documented
+    # as a deviation in EXPERIMENTS.md.
+    small = 4 * KiB
+    assert series["T=2"][small] > series["T=32"][small]
+    # Near saturation everyone converges on the baseline.
+    big = 4 * MiB
+    for key in series:
+        assert 0.85 < series[key][big] < 1.25
+    benchmark.extra_info["speedup_T2_64KiB"] = round(
+        series["T=2"][64 * KiB], 2)
+    benchmark.extra_info["speedup_T32_64KiB"] = round(
+        series["T=32"][64 * KiB], 2)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print(format_speedup_series(run_fig6(OVERHEAD_SIZES, PTP_ITER)))
+    sys.exit(0)

@@ -1,0 +1,61 @@
+"""Fig. 7: overhead benchmark, 16 user/transport partitions, QP sweep.
+
+No aggregation (16 transport partitions) while the number of QPs
+varies.  Expected shape (Section V-B1): one QP is sufficient until
+around 64 KiB; for larger messages one QP per partition performs
+better ("large messages preferring more concurrency").
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from benchmarks.common import (
+    FAST_PTP,
+    OVERHEAD_SIZES,
+    OVERHEAD_SIZES_FAST,
+    PTP_ITER,
+)
+from repro.bench.overhead import overhead_speedup_series
+from repro.bench.reporting import format_speedup_series
+from repro.core import NoAggregation
+from repro.units import KiB, MiB
+
+N_USER = 16
+QP_COUNTS = [1, 4, 16]
+
+
+def run_fig7(sizes, iter_kwargs):
+    baseline_cache = {}
+    return {
+        f"QP={n_qps}": overhead_speedup_series(
+            NoAggregation(n_qps=n_qps),
+            n_user=N_USER, sizes=sizes,
+            baseline_cache=baseline_cache, **iter_kwargs)
+        for n_qps in QP_COUNTS
+    }
+
+
+def test_fig07_qp_sweep(benchmark):
+    series = benchmark.pedantic(
+        run_fig7, args=(OVERHEAD_SIZES_FAST + [16 * MiB], FAST_PTP,), rounds=1, iterations=1)
+    # Small: QP count hardly matters.
+    small = 4 * KiB
+    assert abs(series["QP=1"][small] - series["QP=16"][small]) \
+        / series["QP=1"][small] < 0.3
+    # Large: 16 QPs beat 1 QP.
+    big = 16 * MiB
+    assert series["QP=16"][big] > series["QP=1"][big]
+    benchmark.extra_info["qp16_over_qp1_at_16MiB"] = round(
+        series["QP=16"][big] / series["QP=1"][big], 3)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print(format_speedup_series(run_fig7(OVERHEAD_SIZES, PTP_ITER)))
+    sys.exit(0)

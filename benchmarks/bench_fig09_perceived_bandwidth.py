@@ -1,0 +1,75 @@
+"""Fig. 9: perceived bandwidth of the three designs (16 & 32 partitions).
+
+100 ms compute, 4 % noise, single-thread-delay model, delta = 3000 us
+for the timer design — the paper's exact workload.  Expected shape:
+the persistent implementation and the timer design perceive the most
+bandwidth (the laggard's message stays small), the static PLogGP
+grouping trails for medium sizes, and everyone collapses towards the
+single-thread hardware line at 128 MiB.
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from benchmarks.common import (
+    PERCEIVED_COMPUTE,
+    PERCEIVED_NOISE,
+    PERCEIVED_SIZES,
+    PERCEIVED_SIZES_FAST,
+    ploggp_aggregator,
+    timer_aggregator,
+)
+from repro.bench.perceived import run_perceived_bandwidth, single_thread_line
+from repro.bench.reporting import format_bandwidth_series
+from repro.units import MiB
+
+
+def run_fig9(n_user, sizes, iterations=10, warmup=3):
+    designs = {
+        "persist": None,
+        "ploggp": ploggp_aggregator(),
+        "timer(3000us)": timer_aggregator(),
+    }
+    series = {name: {} for name in designs}
+    for size in sizes:
+        for name, module in designs.items():
+            series[name][size] = run_perceived_bandwidth(
+                module, n_user=n_user, total_bytes=size,
+                compute=PERCEIVED_COMPUTE, noise_fraction=PERCEIVED_NOISE,
+                iterations=iterations, warmup=warmup).perceived_bandwidth
+    return series
+
+
+def test_fig09_perceived_bandwidth(benchmark):
+    series = benchmark.pedantic(
+        run_fig9, args=(32, PERCEIVED_SIZES_FAST, 5, 2,), rounds=1, iterations=1)
+    line = single_thread_line()
+    mid = 8 * MiB
+    # Early bird: everyone above the single-thread line at medium size.
+    for name in series:
+        assert series[name][mid] > line
+    # PLogGP trails persist and timer.
+    assert series["ploggp"][mid] < series["persist"][mid]
+    assert series["ploggp"][mid] < series["timer(3000us)"][mid]
+    benchmark.extra_info["persist_8MiB_GiBps"] = round(
+        series["persist"][mid] / 2**30, 1)
+    benchmark.extra_info["ploggp_8MiB_GiBps"] = round(
+        series["ploggp"][mid] / 2**30, 1)
+    benchmark.extra_info["timer_8MiB_GiBps"] = round(
+        series["timer(3000us)"][mid] / 2**30, 1)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    for n_user in (16, 32):
+        print(f"\n--- {n_user} partitions ---")
+        print(format_bandwidth_series(
+            run_fig9(n_user, PERCEIVED_SIZES),
+            reference=single_thread_line()))
+    sys.exit(0)

@@ -1,0 +1,81 @@
+"""Fig. 10: profiled arrival pattern, 8 MiB, 100 ms compute, 4 % noise.
+
+Profiles the perceived-bandwidth benchmark's ``MPI_Pready`` times and
+overlays the estimated per-partition wire time, as the paper's PMPI
+profiler does.  Expected shape: the n-1 early partitions all finish
+transferring well inside the laggard's ~4 ms delay — the whole
+early-bird window is available, and a delta just above the non-laggard
+arrival spread suffices.
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from benchmarks.common import PERCEIVED_COMPUTE, PERCEIVED_NOISE
+from repro.bench.pair import run_partitioned_pair
+from repro.bench.reporting import format_table
+from repro.mpi.persist_module import PersistSpec
+from repro.profiler import arrival_profile, early_bird_fraction
+from repro.runtime import SingleThreadDelay
+from repro.units import MiB, fmt_time
+
+N_USER = 32
+TOTAL = 8 * MiB
+
+
+def run_profile(total_bytes=TOTAL, iterations=10, warmup=3):
+    result = run_partitioned_pair(
+        PersistSpec,
+        n_user=N_USER,
+        partition_size=total_bytes // N_USER,
+        compute=PERCEIVED_COMPUTE,
+        noise=SingleThreadDelay(PERCEIVED_NOISE),
+        iterations=iterations,
+        warmup=warmup,
+    )
+    rounds = [[t - min(r) for t in r] for r in result.arrival_rounds()]
+    return arrival_profile(rounds, partition_size=total_bytes // N_USER)
+
+
+def report(profile):
+    rows = []
+    laggard = profile.laggard_time
+    for i, span in enumerate(profile.compute_spans):
+        end = profile.transfer_end(i)
+        rows.append([
+            i,
+            fmt_time(span),
+            fmt_time(end),
+            "early" if (i < profile.n_partitions - 1 and end <= laggard)
+            else ("laggard" if i == profile.n_partitions - 1 else "late"),
+        ])
+    return format_table(
+        ["arrival rank", "pready (rel)", "wire done", "early bird?"], rows)
+
+
+def test_fig10_medium_profile(benchmark):
+    profile = benchmark.pedantic(
+        run_profile, args=(TOTAL, 5, 2,), rounds=1, iterations=1)
+    fraction = early_bird_fraction(profile)
+    # Fig. 10: every non-laggard partition transfers inside the delay.
+    assert fraction == 1.0
+    # Laggard delayed by ~4% of 100 ms.
+    assert 3e-3 < profile.laggard_time < 6e-3
+    benchmark.extra_info["early_bird_fraction"] = fraction
+    benchmark.extra_info["laggard_delay_ms"] = round(
+        profile.laggard_time * 1e3, 2)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    profile = run_profile()
+    print(report(profile))
+    print(f"\nearly-bird fraction: {early_bird_fraction(profile):.2f} "
+          f"(paper: 1.0 — all early partitions clear the wire)")
+    sys.exit(0)

@@ -1,0 +1,70 @@
+"""Fig. 13: perceived bandwidth across a window of delta values.
+
+The paper estimates a ~35 us minimum delta for 32 partitions (Fig. 12)
+and then shows that running the timer aggregator with delta in
+{10, 35, 100} us changes perceived bandwidth by at most ~6% — the
+mechanism tolerates a 3.5x mis-tuning.
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from benchmarks.common import (
+    PERCEIVED_COMPUTE,
+    PERCEIVED_NOISE,
+    PERCEIVED_SIZES,
+    PERCEIVED_SIZES_FAST,
+    timer_aggregator,
+)
+from repro.bench.perceived import run_perceived_bandwidth, single_thread_line
+from repro.bench.reporting import format_bandwidth_series
+from repro.units import MiB, us
+
+DELTAS = [us(10), us(35), us(100)]
+N_USER = 32
+
+
+def run_fig13(sizes, iterations=10, warmup=3):
+    series = {}
+    for delta in DELTAS:
+        name = f"delta={delta * 1e6:.0f}us"
+        series[name] = {}
+        for size in sizes:
+            series[name][size] = run_perceived_bandwidth(
+                timer_aggregator(delta), n_user=N_USER, total_bytes=size,
+                compute=PERCEIVED_COMPUTE, noise_fraction=PERCEIVED_NOISE,
+                iterations=iterations, warmup=warmup).perceived_bandwidth
+    return series
+
+
+def test_fig13_delta_window(benchmark):
+    series = benchmark.pedantic(
+        run_fig13, args=(PERCEIVED_SIZES_FAST, 4, 1,), rounds=1, iterations=1)
+    worst_spread = 0.0
+    for size in PERCEIVED_SIZES_FAST:
+        if size < 8 * MiB:
+            # At small totals the absolute last-partition latency is a
+            # few microseconds, so tiny ordering differences read as
+            # large relative spreads; the paper's 6.15% bound is for
+            # its medium/large sizes.
+            continue
+        values = [series[name][size] for name in series]
+        spread = (max(values) - min(values)) / min(values)
+        worst_spread = max(worst_spread, spread)
+    # Paper: at most 6.15%; allow slack at reduced iterations.
+    assert worst_spread < 0.15
+    benchmark.extra_info["worst_spread_pct"] = round(worst_spread * 100, 2)
+    benchmark.extra_info["paper_value_pct"] = 6.15
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print(format_bandwidth_series(run_fig13(PERCEIVED_SIZES),
+                                  reference=single_thread_line()))
+    sys.exit(0)

@@ -1,0 +1,93 @@
+"""Fig. 14: Sweep3D communication speedup at 1024 cores.
+
+8x8 ranks x 16 threads (one rank per node), three (compute, noise)
+points giving laggard delays of 10 us, 40 us and 400 us — the paper's
+three subfigures.  Reported: communication-time speedup of the PLogGP
+and timer designs over ``part_persist`` (critical-path compute
+subtracted).  Expected shape: clear medium-message speedups with small
+noise (paper: up to 1.60x/1.63x at 1 MB in 14a/14b), the timer design
+matching or beating static PLogGP, speedups near 1.0 once the laggard
+delay dominates (paper 14c: 1.04x) and for very large messages.
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from benchmarks.common import (
+    FAST_SWEEP,
+    SWEEP_ITER,
+    SWEEP_SIZES,
+    SWEEP_SIZES_FAST,
+    ploggp_aggregator,
+    timer_aggregator,
+)
+from repro.bench.reporting import format_speedup_series
+from repro.bench.sweep import run_sweep
+from repro.units import KiB, MiB, ms, us
+
+#: (compute, noise fraction) -> laggard delay of 10/40/400 us.
+NOISE_POINTS = [
+    ("14a: 1ms+1% (10us)", 1e-3, 0.01),
+    ("14b: 1ms+4% (40us)", 1e-3, 0.04),
+    ("14c: 10ms+4% (400us)", 10e-3, 0.04),
+]
+GRID = (8, 8)
+N_THREADS = 16
+TIMER_DELTA = us(8)
+
+
+def run_fig14(grid, sizes, noise_points, iter_kwargs):
+    out = {}
+    for label, compute, noise in noise_points:
+        base = {}
+        for size in sizes:
+            base[size] = run_sweep(
+                None, grid=grid, n_threads=N_THREADS, total_bytes=size,
+                compute=compute, noise_fraction=noise,
+                **iter_kwargs).mean_comm_time
+        for name, module in (
+            ("ploggp", ploggp_aggregator()),
+            ("timer", timer_aggregator(TIMER_DELTA)),
+        ):
+            series = {}
+            for size in sizes:
+                ours = run_sweep(
+                    module, grid=grid, n_threads=N_THREADS,
+                    total_bytes=size, compute=compute,
+                    noise_fraction=noise, **iter_kwargs).mean_comm_time
+                series[size] = base[size] / ours
+            out[f"{label} {name}"] = series
+    return out
+
+
+def test_fig14_sweep3d(benchmark):
+    # Reduced grid for the benchmark suite; run the module directly for
+    # the paper's full 8x8.
+    series = benchmark.pedantic(
+        run_fig14, args=((4, 4), SWEEP_SIZES_FAST, NOISE_POINTS[:2], FAST_SWEEP),
+        rounds=1, iterations=1)
+    mid = 256 * KiB
+    # Medium-message speedup with 10us noise.
+    assert series["14a: 1ms+1% (10us) ploggp"][mid] > 1.25
+    # With 40us noise, the timer holds up where static grouping stalls.
+    assert (series["14b: 1ms+4% (40us) timer"][mid]
+            > series["14b: 1ms+4% (40us) ploggp"][mid])
+    benchmark.extra_info["speedup_14a_ploggp_256KiB"] = round(
+        series["14a: 1ms+1% (10us) ploggp"][mid], 2)
+    benchmark.extra_info["speedup_14b_timer_256KiB"] = round(
+        series["14b: 1ms+4% (40us) timer"][mid], 2)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print(f"grid {GRID[0]}x{GRID[1]} x {N_THREADS} threads = "
+          f"{GRID[0] * GRID[1] * N_THREADS} cores")
+    print(format_speedup_series(
+        run_fig14(GRID, SWEEP_SIZES, NOISE_POINTS, SWEEP_ITER)))
+    sys.exit(0)

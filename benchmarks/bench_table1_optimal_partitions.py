@@ -1,0 +1,48 @@
+"""Table I: optimal transport partitions predicted by PLogGP.
+
+Runs the model optimizer across the table's size range and checks the
+output against the paper's published rows:
+
+    <256KiB -> 1, 512KiB-1MiB -> 2, 2-4MiB -> 4, 8-16MiB -> 8,
+    32-64MiB -> 16, >128MiB -> 32.
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from repro.bench.reporting import format_table
+from repro.model.tables import TABLE1_PAPER, generate_table1
+from repro.units import fmt_bytes
+
+
+def run_table1():
+    return generate_table1()
+
+
+def report(got):
+    rows = []
+    for size, want in TABLE1_PAPER.items():
+        rows.append([fmt_bytes(size), want, got[size],
+                     "ok" if got[size] == want else "MISMATCH"])
+    return format_table(
+        ["aggregate size", "paper", "model", ""], rows)
+
+
+def test_table1_reproduction(benchmark):
+    got = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    matches = sum(1 for size, want in TABLE1_PAPER.items()
+                  if got[size] == want)
+    benchmark.extra_info["rows_matched"] = f"{matches}/{len(TABLE1_PAPER)}"
+    assert matches == len(TABLE1_PAPER)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print(report(run_table1()))
+    sys.exit(0)

@@ -1,0 +1,49 @@
+"""Shared workload definitions for the figure-regeneration benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+run it directly (``python benchmarks/bench_fig06_....py``) for the
+paper-scale sweep with printed rows, or through pytest-benchmark
+(``pytest benchmarks/ --benchmark-only``) for a reduced-size run whose
+reproduced numbers are attached as ``extra_info``.
+
+Iteration counts follow the paper where tractable: point-to-point
+micro-benchmarks use 10 warm-up + 100 measured iterations, sweeps use
+3 + 10 (Section V-A).
+"""
+
+from __future__ import annotations
+
+from repro.core import PLogGPAggregator, TimerPLogGPAggregator
+from repro.model.tables import NIAGARA_LOGGP
+from repro.units import KiB, MiB, ms, us
+
+#: Paper iteration counts (full runs).
+PTP_ITER = dict(iterations=100, warmup=10)
+SWEEP_ITER = dict(iterations=10, warmup=3)
+
+#: Reduced counts for pytest-benchmark runs.
+FAST_PTP = dict(iterations=10, warmup=2)
+FAST_SWEEP = dict(iterations=3, warmup=1)
+
+#: Message-size grids.
+OVERHEAD_SIZES = [1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB, 128 * KiB,
+                  512 * KiB, 2 * MiB, 4 * MiB, 16 * MiB]
+OVERHEAD_SIZES_FAST = [4 * KiB, 64 * KiB, 512 * KiB, 4 * MiB]
+PERCEIVED_SIZES = [1 * MiB, 4 * MiB, 8 * MiB, 32 * MiB, 128 * MiB]
+PERCEIVED_SIZES_FAST = [1 * MiB, 8 * MiB, 32 * MiB]
+SWEEP_SIZES = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB]
+SWEEP_SIZES_FAST = [256 * KiB, 1 * MiB]
+
+#: The paper's compute/noise points (Section V-A).
+PERCEIVED_COMPUTE = 100e-3
+PERCEIVED_NOISE = 0.04
+
+
+def ploggp_aggregator():
+    """The PLogGP aggregator as evaluated (4 ms delay input)."""
+    return PLogGPAggregator(NIAGARA_LOGGP, delay=ms(4))
+
+
+def timer_aggregator(delta=us(3000)):
+    """The timer-based design (Fig. 9 uses delta = 3000 us)."""
+    return TimerPLogGPAggregator(NIAGARA_LOGGP, delay=ms(4), delta=delta)

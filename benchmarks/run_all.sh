@@ -1,0 +1,25 @@
+#!/bin/sh
+# Regenerate every figure/table at paper scale into results/.
+# Takes some minutes; each bench also runs standalone.
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p results
+for b in \
+    bench_fig03_ploggp_model \
+    bench_table1_optimal_partitions \
+    bench_fig06_transport_partitions \
+    bench_fig07_qp_count \
+    bench_fig08_aggregator_comparison \
+    bench_fig09_perceived_bandwidth \
+    bench_fig10_arrival_profile_medium \
+    bench_fig11_arrival_profile_large \
+    bench_fig12_minimum_delta \
+    bench_fig13_delta_window \
+    bench_fig14_sweep3d \
+    bench_ext_ablations \
+    bench_ext_model_vs_sim \
+    bench_ext_halo; do
+    echo "== $b =="
+    python "benchmarks/$b.py" > "results/$b.txt" 2>&1
+done
+echo "all results written to results/"

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Brute force vs. model: building a tuning table and checking PLogGP.
+
+Reproduces the paper's Section IV-B/IV-C comparison in miniature: an
+exhaustive search over (transport partitions, QPs) on the simulated
+fabric — the equivalent of the authors' 23-hour Niagara run, in
+virtual time — next to the PLogGP model's instant prediction, plus the
+measured gap between the two (the paper saw at most ~9 %).
+
+Run:  python examples/aggregator_tuning.py
+"""
+
+from repro import FixedAggregation, PLogGPAggregator
+from repro.bench.overhead import run_overhead
+from repro.bench.reporting import format_table
+from repro.config import NIAGARA
+from repro.core.tuning_table import build_tuning_table
+from repro.model.tables import NIAGARA_LOGGP
+from repro.units import KiB, MiB, fmt_bytes, ms
+
+N_USER = 16
+SIZES = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]
+
+
+def main():
+    print(f"Brute-force search over transport partitions x QPs "
+          f"({N_USER} user partitions)...")
+    table = build_tuning_table(
+        n_user_counts=[N_USER],
+        message_sizes=SIZES,
+        iterations=10,
+        warmup=2,
+    )
+    model = PLogGPAggregator(NIAGARA_LOGGP, delay=ms(4))
+    rows = []
+    for size in SIZES:
+        bf_transport, bf_qps = table.lookup(N_USER, size)
+        plan = model.plan(N_USER, size // N_USER, NIAGARA)
+        t_bf = run_overhead(FixedAggregation(bf_transport, bf_qps),
+                            n_user=N_USER, total_bytes=size,
+                            iterations=10, warmup=2).mean_time
+        t_model = run_overhead(FixedAggregation(plan.n_transport, plan.n_qps),
+                               n_user=N_USER, total_bytes=size,
+                               iterations=10, warmup=2).mean_time
+        gap = (t_model - t_bf) / t_bf * 100
+        rows.append([
+            fmt_bytes(size),
+            f"T={bf_transport} QP={bf_qps}",
+            f"T={plan.n_transport} QP={plan.n_qps}",
+            f"{gap:+.1f}%",
+        ])
+    print(format_table(
+        ["size", "brute force", "PLogGP model", "model vs. brute force"],
+        rows))
+    print("\nReading: the model lands close to the exhaustive search at")
+    print("a tiny fraction of the cost — the paper's core argument for")
+    print("the PLogGP aggregator (it saw at most ~9% difference).")
+
+
+if __name__ == "__main__":
+    main()

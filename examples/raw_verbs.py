@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Programming the simulated NIC with the raw ``ibv_*`` verbs facade.
+
+The same sequence the paper's Section IV-A walks through: open a
+device, allocate a protection domain, register memory regions, create
+and connect queue pairs, post an ``RDMA_WRITE_WITH_IMM`` work request
+whose immediate data encodes a partition range, and poll the completion
+queue — without any MPI layer on top.
+
+Run:  python examples/raw_verbs.py
+"""
+
+import numpy as np
+
+from repro.core import decode_immediate, encode_immediate
+from repro.ib import verbs
+from repro.ib.constants import ACCESS_LOCAL, ACCESS_REMOTE_WRITE, Opcode
+from repro.ib.fabric import Fabric
+from repro.ib.wr import SGE, RecvWR, SendWR
+from repro.mem import Buffer
+from repro.sim import Environment
+from repro.units import KiB, fmt_time
+
+
+def main():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.add_node(0)
+    fabric.add_node(1)
+
+    # Device contexts and protection domains, one per node.
+    ctx0 = verbs.ibv_open_device(fabric, 0)
+    ctx1 = verbs.ibv_open_device(fabric, 1)
+    pd0 = verbs.ibv_alloc_pd(ctx0)
+    pd1 = verbs.ibv_alloc_pd(ctx1)
+
+    # Completion queues sit outside the PD.
+    cq0 = verbs.ibv_create_cq(ctx0)
+    cq1 = verbs.ibv_create_cq(ctx1)
+
+    # A connected RC queue pair (RESET -> INIT -> RTR -> RTS both ways).
+    qp0 = verbs.ibv_create_qp(ctx0, pd0, cq0, cq0)
+    qp1 = verbs.ibv_create_qp(ctx1, pd1, cq1, cq1)
+    verbs.connect_qps(qp0, qp1)
+
+    # Register a send buffer locally and a receive buffer for remote
+    # write — the rkey is what the sender must present.
+    send_buf = Buffer(64 * KiB)
+    recv_buf = Buffer(64 * KiB)
+    send_buf.fill_pattern(seed=7)
+    send_mr = verbs.ibv_reg_mr(pd0, send_buf, ACCESS_LOCAL)
+    recv_mr = verbs.ibv_reg_mr(pd1, recv_buf,
+                               ACCESS_LOCAL | ACCESS_REMOTE_WRITE)
+
+    # RDMA_WRITE_WITH_IMM consumes a receive WR at the target, so the
+    # receiver pre-posts one (as the paper's module does in MPI_Start).
+    verbs.ibv_post_recv(qp1, RecvWR(wr_id=1))
+
+    # Immediate data encodes (start user partition, contiguous count)
+    # as two uint16 values packed into the __be32 (Section IV-A).
+    imm = encode_immediate(4, 12)
+    verbs.ibv_post_send(qp0, SendWR(
+        wr_id=1,
+        opcode=Opcode.RDMA_WRITE_WITH_IMM,
+        sg_list=[SGE(send_mr.addr, 64 * KiB, send_mr.lkey)],
+        remote_addr=recv_mr.addr,
+        rkey=recv_mr.rkey,
+        imm_data=imm,
+    ))
+
+    env.run()
+
+    # Poll both CQs: the sender sees the write completion, the receiver
+    # the immediate.
+    [send_wc] = verbs.ibv_poll_cq(cq0, 4)
+    [recv_wc] = verbs.ibv_poll_cq(cq1, 4)
+    start, count = decode_immediate(recv_wc.imm_data)
+    print(f"send completion: wr_id={send_wc.wr_id} status={send_wc.status.value}")
+    print(f"recv completion: {recv_wc.byte_len} bytes at "
+          f"{fmt_time(recv_wc.completed_at)}, immediate says user "
+          f"partitions [{start}, {start + count})")
+    assert np.array_equal(recv_buf.data, send_buf.data)
+    print("remote memory matches the gather source — RDMA write verified")
+
+
+if __name__ == "__main__":
+    main()

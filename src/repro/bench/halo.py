@@ -1,0 +1,151 @@
+"""2-D halo-exchange pattern benchmark.
+
+The paper's benchmark suite [14] ships a halo exchange next to Sweep3D;
+this harness provides it for the same designs.  Unlike the wavefront,
+every rank exchanges with all four neighbours *concurrently* each
+timestep: start receives, compute (threads pready both outgoing faces'
+partitions), wait everything, repeat.  The metric mirrors the sweep:
+communication time = iteration wall time minus one compute phase (all
+ranks compute in parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.bench.overhead import _spec_factory
+from repro.config import ClusterConfig, NIAGARA
+from repro.core.aggregators import Aggregator
+from repro.mem.buffer import PartitionedBuffer
+from repro.mpi.cluster import Cluster
+from repro.mpi.modules import ModuleSpec
+from repro.runtime import ComputePhase, SingleThreadDelay, WorkerTeam
+from repro.sim.sync import SimBarrier
+
+_DIRECTIONS = ("up", "down", "left", "right")
+_OPPOSITE = {"up": "down", "down": "up", "left": "right", "right": "left"}
+
+
+@dataclass
+class HaloResult:
+    """Halo benchmark outcome."""
+
+    grid: tuple[int, int]
+    n_threads: int
+    face_bytes: int
+    compute: float
+    noise_fraction: float
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def mean_time(self) -> float:
+        return float(np.mean(self.times))
+
+    @property
+    def mean_comm_time(self) -> float:
+        """Iteration time minus the (parallel) compute phase."""
+        return float(np.mean([t - self.compute for t in self.times]))
+
+
+def run_halo(
+    module: Union[Aggregator, ModuleSpec, Callable[[], ModuleSpec], None],
+    grid: tuple[int, int] = (4, 4),
+    n_threads: int = 16,
+    face_bytes: int = 1 << 20,
+    compute: float = 1e-3,
+    noise_fraction: float = 0.01,
+    iterations: int = 10,
+    warmup: int = 3,
+    config: Optional[ClusterConfig] = None,
+    topology=None,
+) -> HaloResult:
+    """Run the halo pattern (None module = part_persist baseline)."""
+    config = config if config is not None else NIAGARA
+    px, py = grid
+    if px < 1 or py < 1:
+        raise ValueError(f"bad grid {grid}")
+    partition_size = face_bytes // n_threads
+    if partition_size * n_threads != face_bytes:
+        raise ValueError(
+            f"face of {face_bytes}B not divisible by {n_threads} threads")
+    spec_factory = _spec_factory(module)
+    n_ranks = px * py
+    cluster = Cluster(n_nodes=n_ranks, config=config, topology=topology)
+    procs = cluster.ranks(n_ranks)
+    cores = config.host.cores_per_node
+    barrier = SimBarrier(cluster.env, parties=n_ranks)
+    total_rounds = warmup + iterations
+    round_start = [0.0] * total_rounds
+    finish = np.zeros((total_rounds, n_ranks))
+    phase = ComputePhase(compute=compute,
+                         noise=SingleThreadDelay(noise_fraction))
+
+    def rank_id(i: int, j: int) -> int:
+        return i * py + j
+
+    def neighbours(i: int, j: int) -> dict[str, int]:
+        out = {}
+        if i > 0:
+            out["up"] = rank_id(i - 1, j)
+        if i < px - 1:
+            out["down"] = rank_id(i + 1, j)
+        if j > 0:
+            out["left"] = rank_id(i, j - 1)
+        if j < py - 1:
+            out["right"] = rank_id(i, j + 1)
+        return out
+
+    def rank_program(proc, i: int, j: int):
+        rid = rank_id(i, j)
+        sends, recvs = {}, {}
+        for direction, peer in neighbours(i, j).items():
+            tag = _DIRECTIONS.index(direction)
+            send_face = PartitionedBuffer(n_threads, partition_size,
+                                          backed=False)
+            recv_face = PartitionedBuffer(n_threads, partition_size,
+                                          backed=False)
+            sends[direction] = proc.psend_init(
+                send_face, dest=peer, tag=tag, module=spec_factory())
+            recvs[direction] = proc.precv_init(
+                recv_face, source=peer,
+                tag=_DIRECTIONS.index(_OPPOSITE[direction]),
+                module=spec_factory())
+        team = WorkerTeam(proc.env, n_threads,
+                          cluster.rngs.stream(f"noise.rank{rid}"),
+                          cores=cores)
+        send_reqs = list(sends.values())
+
+        def body(tid):
+            for req in send_reqs:
+                yield from proc.pready(req, tid)
+
+        for it in range(total_rounds):
+            yield barrier.wait()
+            if rid == 0:
+                round_start[it] = proc.env.now
+            for req in list(recvs.values()) + send_reqs:
+                yield from proc.start(req)
+            yield team.run_round(phase, lambda tid: body(tid))
+            for req in send_reqs:
+                yield from proc.wait_partitioned(req)
+            for req in recvs.values():
+                yield from proc.wait_partitioned(req)
+            finish[it, rid] = proc.env.now
+
+    for i in range(px):
+        for j in range(py):
+            cluster.spawn(rank_program(procs[rank_id(i, j)], i, j))
+    cluster.run()
+    result = HaloResult(
+        grid=grid,
+        n_threads=n_threads,
+        face_bytes=face_bytes,
+        compute=compute,
+        noise_fraction=noise_fraction,
+    )
+    for it in range(warmup, total_rounds):
+        result.times.append(float(finish[it].max() - round_start[it]))
+    return result

@@ -1,0 +1,67 @@
+"""Plain-text tables for the figure-regeneration scripts."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.units import fmt_bytes, fmt_rate, fmt_time
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """A fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_speedup_series(series: Mapping[str, Mapping[int, float]]) -> str:
+    """Message-size rows x named speedup columns (Fig. 6-8/14 layout)."""
+    names = list(series)
+    sizes = sorted({s for line in series.values() for s in line})
+    headers = ["size"] + names
+    rows = []
+    for size in sizes:
+        row = [fmt_bytes(size)]
+        for name in names:
+            value = series[name].get(size)
+            row.append(f"{value:.2f}x" if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_bandwidth_series(series: Mapping[str, Mapping[int, float]],
+                            reference: float | None = None) -> str:
+    """Perceived-bandwidth rows (Fig. 9/13 layout)."""
+    names = list(series)
+    sizes = sorted({s for line in series.values() for s in line})
+    headers = ["size"] + names + (["1-thread line"] if reference else [])
+    rows = []
+    for size in sizes:
+        row = [fmt_bytes(size)]
+        for name in names:
+            value = series[name].get(size)
+            row.append(fmt_rate(value) if value is not None else "-")
+        if reference:
+            row.append(fmt_rate(reference))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_delta_table(table: Mapping[tuple[int, int], float]) -> str:
+    """Fig. 12 layout: minimum delta per (size, partition count)."""
+    counts = sorted({n for (_, n) in table})
+    sizes = sorted({s for (s, _) in table})
+    headers = ["size"] + [f"{n} parts" for n in counts]
+    rows = []
+    for size in sizes:
+        row = [fmt_bytes(size)]
+        for n in counts:
+            value = table.get((size, n))
+            row.append(fmt_time(value) if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)

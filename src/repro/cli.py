@@ -1,0 +1,305 @@
+"""Command-line interface: run reproduction experiments from the shell.
+
+Installed as ``repro-bench`` (or ``python -m repro.cli``)::
+
+    repro-bench table1
+    repro-bench model --delay-ms 4
+    repro-bench overhead --n-user 32 --sizes 64KiB,512KiB,4MiB
+    repro-bench perceived --n-user 32 --sizes 8MiB,32MiB
+    repro-bench sweep --grid 4x4 --sizes 256KiB,1MiB --noise 0.01
+    repro-bench netgauge --sizes 4KiB,64KiB,1MiB
+    repro-bench tuning-table --n-user 16 --sizes 64KiB,1MiB
+
+Sizes accept ``B``/``KiB``/``MiB``/``GiB`` suffixes.  Results print as
+the same plain-text tables the ``benchmarks/`` scripts emit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.units import KiB, MiB, GiB, fmt_bytes, fmt_time, ms, us
+
+
+def parse_size(text: str) -> int:
+    """'64KiB' -> 65536."""
+    text = text.strip()
+    for suffix, mult in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB), ("B", 1)):
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * mult)
+    return int(text)
+
+
+def parse_sizes(text: str) -> list[int]:
+    return [parse_size(part) for part in text.split(",") if part.strip()]
+
+
+def parse_grid(text: str) -> tuple[int, int]:
+    px, _, py = text.partition("x")
+    return int(px), int(py)
+
+
+def _aggregator(name: str, delay: float, delta: float):
+    from repro.core import (
+        NoAggregation,
+        PLogGPAggregator,
+        TimerPLogGPAggregator,
+    )
+    from repro.model.tables import NIAGARA_LOGGP
+
+    if name == "ploggp":
+        return PLogGPAggregator(NIAGARA_LOGGP, delay=delay)
+    if name == "timer":
+        return TimerPLogGPAggregator(NIAGARA_LOGGP, delay=delay, delta=delta)
+    if name == "none":
+        return NoAggregation()
+    raise SystemExit(f"unknown aggregator {name!r}")
+
+
+def cmd_table1(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.model.tables import TABLE1_PAPER, generate_table1
+
+    got = generate_table1()
+    rows = [[fmt_bytes(size), want, got[size],
+             "ok" if got[size] == want else "MISMATCH"]
+            for size, want in TABLE1_PAPER.items()]
+    print(format_table(["aggregate size", "paper", "model", ""], rows))
+    return 0 if all(got[s] == w for s, w in TABLE1_PAPER.items()) else 1
+
+
+def cmd_model(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.model import model_curve
+    from repro.model.tables import NIAGARA_LOGGP
+
+    counts = [1, 2, 4, 8, 16, 32]
+    sizes = parse_sizes(args.sizes)
+    curves = {
+        n: model_curve(NIAGARA_LOGGP, sizes, n_transport=n, n_user=n,
+                       delay=ms(args.delay_ms))
+        for n in counts
+    }
+    rows = []
+    for i, size in enumerate(sizes):
+        rows.append([fmt_bytes(size)]
+                    + [fmt_time(curves[n][i]) for n in counts])
+    print(format_table(["size"] + [f"{n}p" for n in counts], rows))
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    from repro.bench.overhead import overhead_speedup_series
+    from repro.bench.reporting import format_speedup_series
+
+    agg = _aggregator(args.aggregator, ms(args.delay_ms), us(args.delta_us))
+    speedups = overhead_speedup_series(
+        agg, n_user=args.n_user, sizes=parse_sizes(args.sizes),
+        iterations=args.iterations, warmup=args.warmup)
+    print(f"overhead speedup over part_persist, {args.n_user} partitions")
+    if args.chart:
+        from repro.viz import bar_chart
+
+        print(bar_chart({fmt_bytes(s): round(v, 2)
+                         for s, v in speedups.items()},
+                        unit="x", reference=1.0))
+    else:
+        print(format_speedup_series({args.aggregator: speedups}))
+    return 0
+
+
+def cmd_perceived(args) -> int:
+    from repro.bench.perceived import (
+        run_perceived_bandwidth,
+        single_thread_line,
+    )
+    from repro.bench.reporting import format_bandwidth_series
+
+    designs = {
+        "persist": None,
+        "ploggp": _aggregator("ploggp", ms(args.delay_ms), 0),
+        "timer": _aggregator("timer", ms(args.delay_ms), us(args.delta_us)),
+    }
+    series = {name: {} for name in designs}
+    for size in parse_sizes(args.sizes):
+        for name, module in designs.items():
+            series[name][size] = run_perceived_bandwidth(
+                module, n_user=args.n_user, total_bytes=size,
+                compute=ms(args.compute_ms), noise_fraction=args.noise,
+                iterations=args.iterations,
+                warmup=args.warmup).perceived_bandwidth
+    print(f"perceived bandwidth, {args.n_user} partitions, "
+          f"{args.compute_ms}ms compute, {args.noise:.0%} noise")
+    if args.chart:
+        from repro.viz import bar_chart
+
+        for size in parse_sizes(args.sizes):
+            print(f"\n{fmt_bytes(size)}:")
+            print(bar_chart(
+                {name: round(series[name][size] / 2**30, 1)
+                 for name in series},
+                unit="GiB/s",
+                reference=single_thread_line() / 2**30))
+    else:
+        print(format_bandwidth_series(series, reference=single_thread_line()))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.bench.reporting import format_speedup_series
+    from repro.bench.sweep import run_sweep
+
+    grid = parse_grid(args.grid)
+    designs = {
+        "ploggp": _aggregator("ploggp", ms(args.delay_ms), 0),
+        "timer": _aggregator("timer", ms(args.delay_ms), us(args.delta_us)),
+    }
+    series = {name: {} for name in designs}
+    for size in parse_sizes(args.sizes):
+        base = run_sweep(None, grid=grid, n_threads=args.threads,
+                         total_bytes=size, compute=ms(args.compute_ms),
+                         noise_fraction=args.noise,
+                         iterations=args.iterations, warmup=args.warmup)
+        for name, module in designs.items():
+            ours = run_sweep(module, grid=grid, n_threads=args.threads,
+                             total_bytes=size, compute=ms(args.compute_ms),
+                             noise_fraction=args.noise,
+                             iterations=args.iterations, warmup=args.warmup)
+            series[name][size] = base.mean_comm_time / ours.mean_comm_time
+    cores = grid[0] * grid[1] * args.threads
+    print(f"sweep3d comm speedup over part_persist, {grid[0]}x{grid[1]} "
+          f"ranks x {args.threads} threads = {cores} cores")
+    if args.chart:
+        from repro.viz import grouped_bars
+
+        print(grouped_bars({
+            fmt_bytes(size): {name: series[name][size] for name in series}
+            for size in parse_sizes(args.sizes)
+        }))
+    else:
+        print(format_speedup_series(series))
+    return 0
+
+
+def cmd_netgauge(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.model.netgauge import measure_loggp
+
+    table = measure_loggp(sizes=parse_sizes(args.sizes),
+                          rounds=args.iterations)
+    rows = []
+    for size in table.sizes:
+        p = table.lookup(size)
+        rows.append([fmt_bytes(size), fmt_time(p.L), fmt_time(p.o_s),
+                     fmt_time(p.o_r), fmt_time(p.g),
+                     f"{p.bandwidth / GiB:.2f}GiB/s"])
+    print(format_table(["size", "L", "o_s", "o_r", "g", "1/G"], rows))
+    return 0
+
+
+def cmd_tuning_table(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.core.tuning_table import build_tuning_table
+
+    table = build_tuning_table(
+        n_user_counts=[args.n_user],
+        message_sizes=parse_sizes(args.sizes),
+        iterations=args.iterations,
+        warmup=args.warmup)
+    rows = []
+    for (n_user, size), (n_transport, n_qps) in sorted(table.entries.items()):
+        rows.append([n_user, fmt_bytes(size), n_transport, n_qps])
+    print(format_table(
+        ["user partitions", "message size", "transport partitions", "QPs"],
+        rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="MPI Partitioned aggregation reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, compute_default=0.0):
+        p.add_argument("--iterations", type=int, default=20)
+        p.add_argument("--warmup", type=int, default=3)
+        p.add_argument("--delay-ms", type=float, default=4.0,
+                       help="PLogGP model delay input (ms)")
+        p.add_argument("--delta-us", type=float, default=35.0,
+                       help="timer aggregator delta (us)")
+        p.add_argument("--chart", action="store_true",
+                       help="render unicode bars instead of a table")
+
+    p = sub.add_parser("table1", help="reproduce Table I")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("model", help="PLogGP model curves (Fig. 3)")
+    p.add_argument("--sizes", default="16KiB,256KiB,4MiB,64MiB,256MiB")
+    p.add_argument("--delay-ms", type=float, default=4.0)
+    p.set_defaults(func=cmd_model)
+
+    p = sub.add_parser("overhead", help="overhead benchmark (Figs. 6-8)")
+    p.add_argument("--n-user", type=int, default=32)
+    p.add_argument("--sizes", default="4KiB,64KiB,512KiB,4MiB")
+    p.add_argument("--aggregator", default="ploggp",
+                   choices=["ploggp", "timer", "none"])
+    common(p)
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("perceived",
+                       help="perceived bandwidth (Figs. 9, 13)")
+    p.add_argument("--n-user", type=int, default=32)
+    p.add_argument("--sizes", default="8MiB,32MiB")
+    p.add_argument("--compute-ms", type=float, default=100.0)
+    p.add_argument("--noise", type=float, default=0.04)
+    common(p)
+    p.set_defaults(func=cmd_perceived)
+
+    p = sub.add_parser("sweep", help="Sweep3D pattern (Fig. 14)")
+    p.add_argument("--grid", default="4x4")
+    p.add_argument("--threads", type=int, default=16)
+    p.add_argument("--sizes", default="256KiB,1MiB")
+    p.add_argument("--compute-ms", type=float, default=1.0)
+    p.add_argument("--noise", type=float, default=0.01)
+    common(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("netgauge",
+                       help="measure LogGP parameters on the fabric")
+    p.add_argument("--sizes", default="256B,4KiB,64KiB,1MiB")
+    p.add_argument("--iterations", type=int, default=10)
+    p.set_defaults(func=cmd_netgauge)
+
+    p = sub.add_parser("tuning-table",
+                       help="brute-force search (Section IV-B)")
+    p.add_argument("--n-user", type=int, default=16)
+    p.add_argument("--sizes", default="64KiB,1MiB")
+    common(p)
+    p.set_defaults(func=cmd_tuning_table)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: standard
+        # CLI etiquette is to exit quietly.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os.close(2)
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""Aggregation strategies: how user partitions map to transport partitions.
+
+An :class:`Aggregator` decides, at ``Psend_init``/``Precv_init`` time,
+how many transport partitions and QPs the native module uses for a
+request (and whether the δ-timer path is armed).  Constraints from
+Section IV-C apply to every strategy: power-of-two counts only, the
+transport count is bounded by the user count (no disaggregation), and
+groups are contiguous and aligned on ``n_user / n_transport``
+boundaries.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError, TuningError
+from repro.model.loggp import LogGPParams, LogGPTable
+from repro.model.ploggp import optimal_transport_partitions
+from repro.units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class AdaptiveDelta:
+    """Online δ auto-tuning parameters (paper Section IV-D names this
+    as future work: "An online auto-tuning approach could be used").
+
+    After each round the non-laggard arrival spread is measured and the
+    next round's δ moves toward ``margin x spread`` with exponential
+    smoothing ``alpha``, clamped to [min_delta, max_delta].
+    """
+
+    alpha: float = 0.5
+    margin: float = 1.25
+    min_delta: float = 1e-6
+    max_delta: float = 1e-3
+
+    def __post_init__(self):
+        if not (0 < self.alpha <= 1):
+            raise ConfigError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.margin <= 0:
+            raise ConfigError(f"margin must be positive, got {self.margin}")
+        if not (0 < self.min_delta <= self.max_delta):
+            raise ConfigError("need 0 < min_delta <= max_delta")
+
+    def update(self, current: float, observed_spread: float) -> float:
+        """Next round's δ given this round's non-laggard spread."""
+        target = self.margin * observed_spread
+        blended = (1 - self.alpha) * current + self.alpha * target
+        return min(max(blended, self.min_delta), self.max_delta)
+
+
+@dataclass(frozen=True)
+class AggregationPlan:
+    """The per-request decision an aggregator produces."""
+
+    n_transport: int
+    n_qps: int
+    #: Arm the δ-timer path with this value (None = plain PLogGP path).
+    timer_delta: Optional[float] = None
+    #: Online δ auto-tuning (requires timer_delta as the initial value).
+    adaptive: Optional[AdaptiveDelta] = None
+    #: Ablation: flush non-contiguous arrivals as ONE multi-SGE WR into
+    #: a receive-side staging buffer (the alternative the paper
+    #: considered and rejected in Section IV-D — it needs staging and
+    #: out-of-band layout information at the receiver).
+    scatter_gather: bool = False
+
+    def __post_init__(self):
+        if not is_power_of_two(self.n_transport):
+            raise ConfigError(
+                f"transport partition count must be a power of two, "
+                f"got {self.n_transport}")
+        if self.n_qps < 1:
+            raise ConfigError(f"need at least one QP, got {self.n_qps}")
+        if self.timer_delta is not None and self.timer_delta < 0:
+            raise ConfigError(f"negative timer delta: {self.timer_delta}")
+        if self.adaptive is not None and self.timer_delta is None:
+            raise ConfigError("adaptive delta requires a timer_delta seed")
+
+
+def _clamp_transport(n_transport: int, n_user: int) -> int:
+    """Fall back to the user's request when the plan exceeds it."""
+    return min(n_transport, n_user)
+
+
+def _qps_for(n_transport: int, max_concurrent_wrs: int,
+             config: ClusterConfig) -> int:
+    """QPs so worst-case in-flight WRs respect the 16-per-QP limit."""
+    limit = config.nic.max_outstanding_rdma
+    needed = math.ceil(max_concurrent_wrs / limit)
+    return max(1, min(n_transport, config.part.default_qps), needed)
+
+
+class Aggregator(abc.ABC):
+    """Strategy interface."""
+
+    @abc.abstractmethod
+    def plan(self, n_user: int, partition_size: int,
+             config: ClusterConfig) -> AggregationPlan:
+        """Decide transport partitions / QPs for one request."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedAggregation(Aggregator):
+    """Explicit transport-partition and QP counts (the Fig. 6/7 sweeps)."""
+
+    def __init__(self, n_transport: int, n_qps: int,
+                 timer_delta: Optional[float] = None,
+                 scatter_gather: bool = False):
+        if not is_power_of_two(n_transport):
+            raise ConfigError(
+                f"n_transport must be a power of two, got {n_transport}")
+        if n_qps < 1:
+            raise ConfigError(f"n_qps must be >= 1, got {n_qps}")
+        self.n_transport = n_transport
+        self.n_qps = n_qps
+        self.timer_delta = timer_delta
+        self.scatter_gather = scatter_gather
+
+    def plan(self, n_user, partition_size, config):
+        return AggregationPlan(
+            n_transport=_clamp_transport(self.n_transport, n_user),
+            n_qps=self.n_qps,
+            timer_delta=self.timer_delta,
+            scatter_gather=self.scatter_gather,
+        )
+
+    def describe(self):
+        return f"fixed(T={self.n_transport}, QP={self.n_qps})"
+
+
+class NoAggregation(Aggregator):
+    """One transport partition per user partition."""
+
+    def __init__(self, n_qps: Optional[int] = None):
+        if n_qps is not None and n_qps < 1:
+            raise ConfigError(f"n_qps must be >= 1, got {n_qps}")
+        self.n_qps = n_qps
+
+    def plan(self, n_user, partition_size, config):
+        n_qps = self.n_qps if self.n_qps is not None else _qps_for(
+            n_user, n_user, config)
+        return AggregationPlan(n_transport=n_user, n_qps=n_qps)
+
+    def describe(self):
+        return "none"
+
+
+class PLogGPAggregator(Aggregator):
+    """Model-driven aggregation (Section IV-C).
+
+    Evaluates the PLogGP model at init with the message size, requested
+    user partitions, and a delay, over power-of-two transport counts.
+    """
+
+    def __init__(self, params: Union[LogGPParams, LogGPTable],
+                 delay: float, max_transport: int = 32):
+        if delay < 0:
+            raise ConfigError(f"negative delay: {delay}")
+        if max_transport < 1:
+            raise ConfigError(f"max_transport must be >= 1")
+        self.params = params
+        self.delay = delay
+        self.max_transport = max_transport
+
+    def plan(self, n_user, partition_size, config):
+        total = n_user * partition_size
+        n_transport = optimal_transport_partitions(
+            self.params, total, n_user=n_user, delay=self.delay,
+            max_transport=self.max_transport)
+        n_transport = _clamp_transport(n_transport, n_user)
+        return AggregationPlan(
+            n_transport=n_transport,
+            n_qps=_qps_for(n_transport, n_transport, config),
+        )
+
+    def describe(self):
+        return f"ploggp(delay={self.delay})"
+
+
+class TimerPLogGPAggregator(PLogGPAggregator):
+    """PLogGP grouping plus the δ-timer dynamic path (Section IV-D).
+
+    The first thread of a group to call ``Pready`` sleeps up to δ; on
+    wake it flushes the largest contiguous runs of arrived partitions,
+    and later arrivals send themselves immediately.  Worst case the
+    module issues one WR per *user* partition, so QPs are sized for
+    that.
+    """
+
+    def __init__(self, params: Union[LogGPParams, LogGPTable],
+                 delay: float, delta: Optional[float] = None,
+                 max_transport: int = 32, scatter_gather: bool = False):
+        super().__init__(params, delay, max_transport)
+        if delta is not None and delta < 0:
+            raise ConfigError(f"negative delta: {delta}")
+        self.delta = delta
+        self.scatter_gather = scatter_gather
+
+    def plan(self, n_user, partition_size, config):
+        base = super().plan(n_user, partition_size, config)
+        delta = self.delta if self.delta is not None else config.part.timer_delta
+        return AggregationPlan(
+            n_transport=base.n_transport,
+            n_qps=_qps_for(base.n_transport, n_user, config),
+            timer_delta=delta,
+            scatter_gather=self.scatter_gather,
+        )
+
+    def describe(self):
+        return f"timer-ploggp(delta={self.delta})"
+
+
+class AdaptiveTimerAggregator(TimerPLogGPAggregator):
+    """Timer aggregation with online δ auto-tuning.
+
+    Implements the direction the paper flags as future work in
+    Section IV-D: instead of a fixed δ, each round's non-laggard
+    arrival spread feeds back into the next round's δ, so the timer
+    stays just wide enough to cover the natural thread skew without
+    adding artificial delay.
+    """
+
+    def __init__(self, params: Union[LogGPParams, LogGPTable],
+                 delay: float, initial_delta: float,
+                 adaptive: Optional["AdaptiveDelta"] = None,
+                 max_transport: int = 32):
+        super().__init__(params, delay, delta=initial_delta,
+                         max_transport=max_transport)
+        self.adaptive = adaptive if adaptive is not None else AdaptiveDelta()
+
+    def plan(self, n_user, partition_size, config):
+        base = super().plan(n_user, partition_size, config)
+        return AggregationPlan(
+            n_transport=base.n_transport,
+            n_qps=base.n_qps,
+            timer_delta=base.timer_delta,
+            adaptive=self.adaptive,
+        )
+
+    def describe(self):
+        return (f"adaptive-timer(seed={self.delta}, "
+                f"alpha={self.adaptive.alpha})")

@@ -1,0 +1,32 @@
+"""Immediate-data encoding for transport partitions (Section IV-A).
+
+"The immediate value must be of type ``__be32``.  So to encode the
+required information we store the starting user partition and the
+number of contiguous partitions as two variables of type ``uint16_t``."
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitionError
+
+_U16_MAX = 0xFFFF
+
+
+def encode_immediate(start: int, count: int) -> int:
+    """Pack (start user partition, contiguous count) into 32 bits."""
+    if not (0 <= start <= _U16_MAX):
+        raise PartitionError(f"start partition {start} does not fit uint16")
+    if not (1 <= count <= _U16_MAX):
+        raise PartitionError(f"partition count {count} does not fit uint16")
+    return (start << 16) | count
+
+
+def decode_immediate(imm: int) -> tuple[int, int]:
+    """Unpack an immediate into (start, count)."""
+    if not (0 <= imm < 2**32):
+        raise PartitionError(f"immediate {imm:#x} is not a __be32")
+    start = (imm >> 16) & _U16_MAX
+    count = imm & _U16_MAX
+    if count == 0:
+        raise PartitionError(f"immediate {imm:#x} decodes to zero count")
+    return start, count

@@ -1,0 +1,480 @@
+"""The native-verbs partitioned module (paper Section IV).
+
+Maps a matched Psend/Precv pair directly onto InfiniBand resources:
+
+* per-pair PDs, CQs, and ``n_qps`` connected QPs;
+* send/receive buffers registered once at init;
+* ``MPI_Pready`` performs an atomic add-and-fetch on the transport
+  group's arrival counter; the thread that completes a group posts the
+  group's ``RDMA_WRITE_WITH_IMM`` WR, with (start, count) packed in the
+  immediate;
+* receive WRs are pre-posted in ``MPI_Start``;
+* the δ-timer path (Section IV-D), when armed, lets the first arriver
+  of a group sleep up to δ and flush the arrived runs early.
+
+WRs for a group always use QP ``group % n_qps``; software flow control
+parks a poster when a QP's 16-outstanding-RDMA budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.aggregators import AggregationPlan, Aggregator
+from repro.core.immediate import decode_immediate, encode_immediate
+from repro.errors import PartitionError
+from repro.ib.constants import ACCESS_LOCAL, ACCESS_REMOTE_WRITE, Opcode
+from repro.ib.wr import SGE, RecvWR, SendWR
+from repro.mpi.modules import ModuleSpec, PartitionedModule
+from repro.sim.sync import AtomicCounter
+
+if TYPE_CHECKING:
+    from repro.mpi.process import MPIProcess
+
+_wrid = itertools.count(1 << 32)  # distinct from the endpoint namespace
+
+
+class NativeVerbsModule(PartitionedModule):
+    """One matched pair's verbs transport with aggregation."""
+
+    def __init__(self, cluster, send_req, recv_req, aggregator: Aggregator):
+        super().__init__(cluster, send_req, recv_req)
+        self.aggregator = aggregator
+        self.sender: "MPIProcess" = send_req.process
+        self.receiver: "MPIProcess" = recv_req.process
+        self.plan: Optional[AggregationPlan] = None
+        self.group_size = 0
+        # set up in setup()
+        self.send_qps = []
+        self.recv_qps = []
+        self.send_cq = None
+        self.recv_cq = None
+        self.send_mr = None
+        self.recv_mr = None
+        # per-round sender state
+        self._arrived: Optional[np.ndarray] = None
+        self._sent: Optional[np.ndarray] = None
+        self._flushed: Optional[np.ndarray] = None
+        self._counters: list[AtomicCounter] = []
+        self._ready_count = 0
+        self._posted = 0
+        self._acked = 0
+        #: Posts currently between sent-marking and the actual
+        #: ``post_send`` (inside WR-build cost or flow control); non-zero
+        #: keeps the round open while posted/acked are inconsistent.
+        self._inflight_posts = 0
+        # Round credit: the sender may only put data on the wire for
+        # round N once the receiver's MPI_Start for round N has re-armed
+        # the buffers — the remote-readiness problem behind the MPI
+        # Forum's MPI_Pbuf_prepare proposal (Section IV-A).  The
+        # receiver's Start grants a credit that reaches the sender one
+        # fabric latency later; posts issued before it are deferred.
+        self._armed_round = 0
+        self._deferred: list[tuple[int, int]] = []
+        # adaptive-delta state
+        self.current_delta: Optional[float] = None
+        self._round_pready_times: Optional[list] = None
+        #: δ used each round (diagnostics for the auto-tuner).
+        self.delta_history: list[float] = []
+        # statistics across rounds
+        self.total_wrs_posted = 0
+        self.timer_flushes = 0
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def setup(self, send_req, recv_req) -> None:
+        config = self.cluster.config
+        self.plan = self.aggregator.plan(
+            send_req.n_partitions, send_req.partition_size, config)
+        if send_req.n_partitions % self.plan.n_transport != 0:
+            raise PartitionError(
+                f"{self.plan.n_transport} transport partitions do not divide "
+                f"{send_req.n_partitions} user partitions")
+        self.group_size = send_req.n_partitions // self.plan.n_transport
+        send_pd = self.sender.ib.alloc_pd()
+        recv_pd = self.receiver.ib.alloc_pd()
+        self.send_cq = self.sender.ib.create_cq(capacity=1 << 20)
+        self.recv_cq = self.receiver.ib.create_cq(capacity=1 << 20)
+        from repro.ib import verbs
+
+        for _ in range(self.plan.n_qps):
+            qp_s = self.sender.ib.create_qp(send_pd, self.send_cq, self.send_cq)
+            qp_r = self.receiver.ib.create_qp(recv_pd, self.recv_cq, self.recv_cq)
+            verbs.connect_qps(qp_s, qp_r)
+            self.send_qps.append(qp_s)
+            self.recv_qps.append(qp_r)
+        self.send_mr = send_pd.reg_mr(send_req.buf, ACCESS_LOCAL)
+        self.recv_mr = recv_pd.reg_mr(
+            recv_req.buf, ACCESS_LOCAL | ACCESS_REMOTE_WRITE)
+        if self.plan.scatter_gather:
+            # The rejected design of Section IV-D needs receive-side
+            # staging: gathered (non-contiguous) flushes land here and
+            # are copied out once the layout is known.
+            from repro.mem.buffer import Buffer
+
+            self._staging = Buffer(
+                2 * recv_req.buf.nbytes,
+                backed=self.cluster.config.real_buffers)
+            self._staging_mr = recv_pd.reg_mr(
+                self._staging, ACCESS_LOCAL | ACCESS_REMOTE_WRITE)
+            self._staging_head = 0
+            self._sg_layouts: dict[int, tuple] = {}
+            self._sg_seq = 0
+        self.sender.engine.register(self._send_poller)
+        self.sender.engine.watch_cq(self.send_cq)
+        self.receiver.engine.register(self._recv_poller)
+        self.receiver.engine.watch_cq(self.recv_cq)
+
+    # ------------------------------------------------------------------
+    # round management
+    # ------------------------------------------------------------------
+
+    def start_send(self, req):
+        n = req.n_partitions
+        host = self.sender.config.host
+        if self.plan.timer_delta is not None:
+            if self.current_delta is None:
+                self.current_delta = self.plan.timer_delta
+            elif (self.plan.adaptive is not None
+                  and self._round_pready_times is not None
+                  and n > 2):
+                # Feed last round's non-laggard spread into the tuner.
+                from repro.core.delta import estimate_min_delta
+
+                spread = estimate_min_delta([self._round_pready_times])
+                self.current_delta = self.plan.adaptive.update(
+                    self.current_delta, spread)
+            self.delta_history.append(self.current_delta)
+        self._round_pready_times = [0.0] * n
+        self._arrived = np.zeros(n, dtype=bool)
+        self._sent = np.zeros(n, dtype=bool)
+        self._flushed = np.zeros(self.plan.n_transport, dtype=bool)
+        atomic_cost = self.sender.software_cost(host.t_atomic)
+        self._counters = [
+            AtomicCounter(self.env, access_cost=atomic_cost)
+            for _ in range(self.plan.n_transport)
+        ]
+        self._ready_count = 0
+        self._posted = 0
+        self._acked = 0
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def start_recv(self, req):
+        """Pre-post this round's receive WRs (Section IV-A).
+
+        Tops each QP's RQ up to its worst-case message count so stale
+        entries from timer rounds are reused rather than leaked.
+        """
+        per_group_max = self.group_size if self.plan.timer_delta is not None else 1
+        targets = [0] * self.plan.n_qps
+        for g in range(self.plan.n_transport):
+            targets[g % self.plan.n_qps] += per_group_max
+        for qp, target in zip(self.recv_qps, targets):
+            deficit = target - len(qp.rq)
+            for _ in range(max(0, deficit)):
+                qp.post_recv(RecvWR(wr_id=next(_wrid)))
+        # Grant the sender this round's credit, one fabric latency away.
+        env = self.env
+        fabric = self.cluster.fabric
+        flight = fabric.latency(self.receiver.node_id, self.sender.node_id)
+        round_number = req.round
+
+        def credit(env):
+            yield env.timeout(flight)
+            self._armed_round = max(self._armed_round, round_number)
+            if self._deferred:
+                yield from self._flush_deferred()
+
+        env.process(credit(env))
+        return
+        yield  # pragma: no cover - generator protocol
+
+    # ------------------------------------------------------------------
+    # sender path
+    # ------------------------------------------------------------------
+
+    def pready(self, req, partition: int):
+        """Atomic arrival marking plus group-completion posting."""
+        group = partition // self.group_size
+        self._arrived[partition] = True
+        self._round_pready_times[partition] = self.env.now
+        self._ready_count += 1
+        count = yield from self._counters[group].add_and_fetch(1)
+        if self.plan.timer_delta is None:
+            if count == self.group_size:
+                yield from self._post_range(
+                    group * self.group_size, self.group_size)
+        else:
+            if self._flushed[group]:
+                # Post-flush arrivals send themselves (plus any arrived
+                # neighbours not yet sent).  The partition may already
+                # have been swept up by a flush that ran while this
+                # thread was inside the atomic add — never re-send it.
+                if not self._sent[partition]:
+                    yield from self._post_run_around(partition, group)
+            elif count == self.group_size:
+                # Last arriver: send whatever remains (the whole group
+                # if the timer never fired).
+                yield from self._post_unsent_runs(group)
+            elif count == 1:
+                # First arriver sleeps up to delta, checking the flag.
+                yield from self._timer_wait(group)
+
+    def _timer_wait(self, group: int):
+        cfg = self.cluster.config.part
+        delta = (self.current_delta if self.current_delta is not None
+                 else self.plan.timer_delta)
+        waited = 0.0
+        while waited < delta:
+            step = min(cfg.timer_poll, delta - waited)
+            yield self.env.timeout(step)
+            waited += step
+            if self._counters[group].value >= self.group_size:
+                return  # last arriver handled the group
+        if self._counters[group].value >= self.group_size:
+            return
+        self._flushed[group] = True
+        self.timer_flushes += 1
+        yield from self._post_unsent_runs(group)
+
+    def _collect_unsent_runs(self, group: int) -> list[tuple[int, int]]:
+        """Maximal contiguous (start, count) runs of arrived-but-unsent."""
+        base = group * self.group_size
+        runs = []
+        i = base
+        end = base + self.group_size
+        while i < end:
+            if self._arrived[i] and not self._sent[i]:
+                j = i
+                while j < end and self._arrived[j] and not self._sent[j]:
+                    j += 1
+                runs.append((i, j - i))
+                i = j
+            else:
+                i += 1
+        return runs
+
+    def _post_unsent_runs(self, group: int):
+        """Post arrived-but-unsent partitions: one WR per contiguous run
+        (the paper's design), or one multi-SGE WR into receive-side
+        staging (the rejected scatter/gather alternative).
+
+        Posting yields (WR build cost, flow control), and new arrivals
+        may send themselves in those gaps — so the run list is
+        re-collected after every post instead of trusted across yields.
+        The SG path is immune: it marks every collected partition sent
+        before its first yield.
+        """
+        runs = self._collect_unsent_runs(group)
+        if self.plan.scatter_gather and len(runs) > 1:
+            yield from self._post_scatter_gather(group, runs)
+            return
+        while runs:
+            start, count = runs[0]
+            yield from self._post_range(start, count)
+            runs = self._collect_unsent_runs(group)
+
+    def _post_run_around(self, partition: int, group: int):
+        base = group * self.group_size
+        end = base + self.group_size
+        lo = partition
+        while lo > base and self._arrived[lo - 1] and not self._sent[lo - 1]:
+            lo -= 1
+        hi = partition + 1
+        while hi < end and self._arrived[hi] and not self._sent[hi]:
+            hi += 1
+        yield from self._post_range(lo, hi - lo)
+
+    def _post_range(self, start: int, count: int):
+        """One RDMA-write-with-immediate for user partitions [start, +count).
+
+        Deferred (without posting) when the receiver's round credit has
+        not arrived yet; the credit flushes the backlog.
+        """
+        self._sent[start : start + count] = True
+        if self._armed_round < self.send_req.round:
+            self._deferred.append((start, count))
+            return
+        yield from self._issue_wr(start, count)
+
+    def _flush_deferred(self):
+        """Post everything queued behind the round credit; yields.
+
+        Entries are popped only *after* their WR is on the queue: the
+        completion condition treats a non-empty deferred list as
+        work-outstanding, and popping first would open a window (inside
+        ``_issue_wr``'s post cost) where ``acked == posted`` with
+        nothing deferred reads as round-complete — letting the round
+        re-arm under an in-flight flush and corrupting the counters.
+        """
+        while self._deferred:
+            start, count = self._deferred[0]
+            yield from self._issue_wr(start, count)
+            self._deferred.pop(0)
+
+    def _issue_wr(self, start: int, count: int):
+        """Build and post one WR; guarded against premature completion.
+
+        Between sent-flag marking and the ``post_send`` there are yields
+        (WR-build cost, flow control) during which posted/acked look
+        consistent to the send poller even though work is pending —
+        ``_inflight_posts`` keeps the round open across that window.
+        """
+        req = self.send_req
+        self._inflight_posts += 1
+        try:
+            yield self.env.timeout(
+                self.sender.software_cost(self.sender.config.host.t_post))
+            group = start // self.group_size
+            qp = self.send_qps[group % self.plan.n_qps]
+            while not qp.has_rdma_slot():
+                yield qp.wait_rdma_slot()
+            offset, length = req.buf.range_offset(start, count)
+            qp.post_send(SendWR(
+                wr_id=next(_wrid),
+                opcode=Opcode.RDMA_WRITE_WITH_IMM,
+                sg_list=[SGE(self.send_mr.addr + offset, length,
+                             self.send_mr.lkey)],
+                remote_addr=self.recv_mr.addr + offset,
+                rkey=self.recv_mr.rkey,
+                imm_data=encode_immediate(start, count),
+            ))
+            self._posted += 1
+            self.total_wrs_posted += 1
+        finally:
+            self._inflight_posts -= 1
+
+    #: Immediate "start" value marking a scatter/gather staging message.
+    _SG_MARKER = 0xFFFF
+
+    def _post_scatter_gather(self, group: int, runs: list[tuple[int, int]]):
+        """One multi-SGE WR into staging for non-contiguous runs."""
+        req = self.send_req
+        psize = req.partition_size
+        for start, count in runs:
+            self._sent[start : start + count] = True
+        if self._armed_round < self.send_req.round:
+            # Credit not here yet: queue as plain runs (the grouping
+            # opportunity has passed by the time the credit lands).
+            self._deferred.extend(runs)
+            return
+        host = self.sender.config.host
+        self._inflight_posts += 1
+        try:
+            # WR build cost grows with the gather-list length.
+            yield self.env.timeout(self.sender.software_cost(
+                host.t_post + 50e-9 * len(runs)))
+            qp = self.send_qps[group % self.plan.n_qps]
+            while not qp.has_rdma_slot():
+                yield qp.wait_rdma_slot()
+            total = sum(count for _, count in runs) * psize
+            if self._staging_head + total > self._staging.nbytes:
+                self._staging_head = 0
+            staging_offset = self._staging_head
+            self._staging_head += total
+            seq = self._sg_seq = (self._sg_seq + 1) & 0xFFFF or 1
+            self._sg_layouts[seq] = (tuple(runs), staging_offset)
+            sg_list = []
+            for start, count in runs:
+                offset, length = req.buf.range_offset(start, count)
+                sg_list.append(SGE(self.send_mr.addr + offset, length,
+                                   self.send_mr.lkey))
+            qp.post_send(SendWR(
+                wr_id=next(_wrid),
+                opcode=Opcode.RDMA_WRITE_WITH_IMM,
+                sg_list=sg_list,
+                remote_addr=self._staging_mr.addr + staging_offset,
+                rkey=self._staging_mr.rkey,
+                imm_data=(self._SG_MARKER << 16) | seq,
+            ))
+            self._posted += 1
+            self.total_wrs_posted += 1
+        finally:
+            self._inflight_posts -= 1
+
+    def _handle_scatter_gather(self, imm: int):
+        """Receiver side: parse layout, copy staging into place; yields."""
+        seq = imm & 0xFFFF
+        runs, staging_offset = self._sg_layouts.pop(seq)
+        req = self.recv_req
+        psize = req.partition_size
+        host = self.receiver.config.host
+        part_cfg = self.receiver.config.part
+        total = sum(count for _, count in runs) * psize
+        # Layout handling per run, plus the staging copy-out — the
+        # receive-side costs that made the paper reject this design.
+        yield self.env.timeout(
+            part_cfg.t_rx_wr * len(runs) + total / host.memcpy_rate)
+        cursor = staging_offset
+        for start, count in runs:
+            offset, length = req.buf.range_offset(start, count)
+            req.buf.write(offset, self._staging.read(cursor, length))
+            cursor += length
+            req.mark_arrived(start, count)
+
+    # ------------------------------------------------------------------
+    # progress pollers
+    # ------------------------------------------------------------------
+
+    def _send_poller(self):
+        host = self.sender.config.host
+        handled = 0
+        while True:
+            wcs = self.send_cq.poll(16)
+            if not wcs:
+                break
+            for wc in wcs:
+                yield self.env.timeout(host.t_poll_hit)
+                wc.require_success()
+                self._acked += 1
+                handled += 1
+        if (not self.send_req.done
+                and self._arrived is not None
+                and self._ready_count == self.send_req.n_partitions
+                and not self._deferred
+                and self._inflight_posts == 0
+                and self._acked == self._posted
+                and bool(self._sent.all())):
+            self.send_req.mark_complete()
+        return handled
+
+    def _recv_poller(self):
+        host = self.receiver.config.host
+        part_cfg = self.receiver.config.part
+        req = self.recv_req
+        handled = 0
+        while True:
+            wcs = self.recv_cq.poll(16)
+            if not wcs:
+                break
+            for wc in wcs:
+                yield self.env.timeout(host.t_poll_hit)
+                wc.require_success()
+                if (wc.imm_data >> 16) == self._SG_MARKER:
+                    yield from self._handle_scatter_gather(wc.imm_data)
+                else:
+                    yield self.env.timeout(part_cfg.t_rx_wr)
+                    start, count = decode_immediate(wc.imm_data)
+                    req.mark_arrived(start, count)
+                handled += 1
+        if not req.done and req.all_arrived:
+            req.mark_complete()
+        return handled
+
+
+class NativeSpec(ModuleSpec):
+    """Spec for the native module; pass the same aggregator both sides."""
+
+    name = "native_verbs"
+
+    def __init__(self, aggregator: Aggregator):
+        self.aggregator = aggregator
+
+    def create(self, cluster, send_req, recv_req):
+        return NativeVerbsModule(cluster, send_req, recv_req, self.aggregator)

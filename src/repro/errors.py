@@ -1,0 +1,112 @@
+"""Exception hierarchy for the repro package.
+
+Every layer of the stack raises subclasses of :class:`ReproError`, so a
+caller can catch a single type at an API boundary while tests can assert
+on precise failure modes.  The IB layer mirrors the ``errno``-style
+failures of real verbs calls (posting to a QP in the wrong state, queue
+overflow, protection faults) and the MPI layer mirrors the MPI error
+classes relevant to partitioned communication.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation kernel errors."""
+
+
+class SimTimeError(SimulationError):
+    """Raised when an event is scheduled in the past or with invalid delay."""
+
+
+class ProcessError(SimulationError):
+    """Raised when a simulated process is used incorrectly."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a simulated process that was interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# InfiniBand verbs errors
+# ---------------------------------------------------------------------------
+
+
+class IBError(ReproError):
+    """Base class for simulated InfiniBand verbs failures."""
+
+
+class QPStateError(IBError):
+    """Operation attempted on a queue pair in an incompatible state."""
+
+
+class QPOverflowError(IBError):
+    """Posting a work request would exceed the queue capacity.
+
+    Mirrors ``ENOMEM`` from ``ibv_post_send`` when the send queue is full
+    or the outstanding-RDMA limit (16 on the paper's ConnectX-5 hardware)
+    would be exceeded.
+    """
+
+
+class ProtectionError(IBError):
+    """Access outside a registered memory region or with a wrong key.
+
+    The simulated equivalent of a local/remote protection fault
+    (``IBV_WC_LOC_PROT_ERR`` / ``IBV_WC_REM_ACCESS_ERR``).
+    """
+
+
+class CompletionError(IBError):
+    """A work completion was returned with a non-success status."""
+
+
+# ---------------------------------------------------------------------------
+# MPI runtime errors
+# ---------------------------------------------------------------------------
+
+
+class MPIError(ReproError):
+    """Base class for simulated MPI runtime failures."""
+
+
+class MatchingError(MPIError):
+    """Psend/Precv matching failed (count/size mismatch between peers)."""
+
+
+class PartitionError(MPIError):
+    """Invalid partition index or partition state transition."""
+
+
+class RequestError(MPIError):
+    """Invalid use of a (persistent) request object."""
+
+
+# ---------------------------------------------------------------------------
+# Configuration / tuning errors
+# ---------------------------------------------------------------------------
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""
+
+
+class TuningError(ReproError):
+    """Tuning table lookup or construction failed."""

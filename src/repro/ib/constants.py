@@ -1,0 +1,83 @@
+"""Enumerations mirroring the verbs C API."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Send work-request opcodes (subset used by the paper's design)."""
+
+    RDMA_WRITE = "IBV_WR_RDMA_WRITE"
+    RDMA_WRITE_WITH_IMM = "IBV_WR_RDMA_WRITE_WITH_IMM"
+    RDMA_READ = "IBV_WR_RDMA_READ"
+    SEND = "IBV_WR_SEND"
+    SEND_WITH_IMM = "IBV_WR_SEND_WITH_IMM"
+
+    @property
+    def has_immediate(self) -> bool:
+        return self in (Opcode.RDMA_WRITE_WITH_IMM, Opcode.SEND_WITH_IMM)
+
+    @property
+    def consumes_recv_wr(self) -> bool:
+        """Whether the remote side consumes an RQ entry for this opcode."""
+        return self in (
+            Opcode.RDMA_WRITE_WITH_IMM,
+            Opcode.SEND,
+            Opcode.SEND_WITH_IMM,
+        )
+
+    @property
+    def is_rdma(self) -> bool:
+        """Counts toward the outstanding-RDMA-WR hardware limit."""
+        return self in (
+            Opcode.RDMA_WRITE,
+            Opcode.RDMA_WRITE_WITH_IMM,
+            Opcode.RDMA_READ,
+        )
+
+
+class QPState(enum.Enum):
+    """Queue pair state machine (RESET -> INIT -> RTR -> RTS)."""
+
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"    # ready to receive
+    RTS = "RTS"    # ready to send
+    ERROR = "ERROR"
+
+
+#: Legal QP state transitions.
+QP_TRANSITIONS: dict[QPState, frozenset[QPState]] = {
+    QPState.RESET: frozenset({QPState.INIT, QPState.ERROR}),
+    QPState.INIT: frozenset({QPState.RTR, QPState.RESET, QPState.ERROR}),
+    QPState.RTR: frozenset({QPState.RTS, QPState.RESET, QPState.ERROR}),
+    QPState.RTS: frozenset({QPState.RESET, QPState.ERROR}),
+    QPState.ERROR: frozenset({QPState.RESET}),
+}
+
+
+class WCStatus(enum.Enum):
+    """Work completion status codes (subset)."""
+
+    SUCCESS = "IBV_WC_SUCCESS"
+    LOC_PROT_ERR = "IBV_WC_LOC_PROT_ERR"
+    REM_ACCESS_ERR = "IBV_WC_REM_ACCESS_ERR"
+    RNR_RETRY_EXC_ERR = "IBV_WC_RNR_RETRY_EXC_ERR"
+    WR_FLUSH_ERR = "IBV_WC_WR_FLUSH_ERR"
+
+
+class WCOpcode(enum.Enum):
+    """Work completion opcodes."""
+
+    RDMA_WRITE = "IBV_WC_RDMA_WRITE"
+    RDMA_READ = "IBV_WC_RDMA_READ"
+    SEND = "IBV_WC_SEND"
+    RECV = "IBV_WC_RECV"
+    RECV_RDMA_WITH_IMM = "IBV_WC_RECV_RDMA_WITH_IMM"
+
+
+#: Access flag bits for memory registration.
+ACCESS_LOCAL: int = 0x1
+ACCESS_REMOTE_WRITE: int = 0x2
+ACCESS_REMOTE_READ: int = 0x4

@@ -1,0 +1,66 @@
+"""Completion queues."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.ib.wr import WorkCompletion
+
+
+class CompletionQueue:
+    """A bounded FIFO of work completions (``ibv_cq``).
+
+    Sits outside any PD, as in the verbs model.  Polling is free at the
+    CQ itself; the host layer charges CPU time per poll (see
+    :class:`repro.config.HostConfig`).
+    """
+
+    _next_handle = 1
+
+    def __init__(self, context, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"CQ capacity must be >= 1, got {capacity}")
+        self.context = context
+        self.capacity = capacity
+        self.handle = CompletionQueue._next_handle
+        CompletionQueue._next_handle += 1
+        self._entries: Deque[WorkCompletion] = deque()
+        #: Callbacks invoked on every push — the simulated analogue of a
+        #: completion-channel notification; progress engines hook these
+        #: to wake instead of spin-polling across long idle stretches.
+        self.on_push: list[Callable[[WorkCompletion], None]] = []
+        #: Total completions ever pushed (statistic).
+        self.total_completions = 0
+        #: Completions dropped because the CQ overflowed (a serious
+        #: error on real hardware; tracked so tests can assert zero).
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, wc: WorkCompletion) -> None:
+        """NIC-side: deposit a completion."""
+        if len(self._entries) >= self.capacity:
+            self.overflows += 1
+            return
+        self._entries.append(wc)
+        self.total_completions += 1
+        for callback in self.on_push:
+            callback(wc)
+
+    def poll(self, max_entries: int = 1) -> list[WorkCompletion]:
+        """Host-side: pop up to ``max_entries`` completions (``ibv_poll_cq``)."""
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        out = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        return out
+
+    def peek(self) -> Optional[WorkCompletion]:
+        """The oldest entry without removing it, or None."""
+        return self._entries[0] if self._entries else None
+
+    def __repr__(self) -> str:
+        return f"<CQ handle={self.handle} depth={len(self._entries)}/{self.capacity}>"

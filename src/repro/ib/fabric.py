@@ -1,0 +1,88 @@
+"""The fabric: nodes, NICs, and inter-node latency.
+
+The paper's platform is a Dragonfly+ EDR fabric with full bisection
+bandwidth at the scales evaluated; we model it as a non-blocking
+crossbar with uniform latency (per-pair overrides available for
+topology experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import ClusterConfig, NIAGARA
+from repro.errors import ConfigError
+from repro.ib.nic import NIC
+from repro.sim.core import Environment
+from repro.sim.monitor import Trace
+
+
+@dataclass(frozen=True)
+class NodeAddress:
+    """Identifies an endpoint for QP exchange: node plus QP number."""
+
+    node_id: int
+    qp_num: int
+
+
+class Fabric:
+    """A set of nodes joined by a non-blocking interconnect."""
+
+    def __init__(self, env: Environment, config: Optional[ClusterConfig] = None,
+                 trace: Optional[Trace] = None, topology=None):
+        self.env = env
+        self.config = config if config is not None else NIAGARA
+        self.config.validate()
+        self.trace = trace if trace is not None else Trace(
+            enabled=self.config.trace_enabled)
+        #: Optional :class:`repro.ib.topology.Topology`; None = uniform
+        #: latency from the link config.
+        self.topology = topology
+        self._nics: dict[int, NIC] = {}
+        self._latency_overrides: dict[tuple[int, int], float] = {}
+
+    def add_node(self, node_id: Optional[int] = None) -> NIC:
+        """Create a node with one NIC; returns the NIC."""
+        if node_id is None:
+            node_id = len(self._nics)
+        if node_id in self._nics:
+            raise ConfigError(f"node {node_id} already exists")
+        nic = NIC(self.env, self, node_id, self.config, self.trace)
+        self._nics[node_id] = nic
+        return nic
+
+    def nic_at(self, node_id: int) -> NIC:
+        try:
+            return self._nics[node_id]
+        except KeyError:
+            raise ConfigError(f"no node {node_id} in fabric") from None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nics)
+
+    def set_latency(self, a: int, b: int, latency: float) -> None:
+        """Override propagation latency for the (a, b) pair, both ways."""
+        if latency < 0:
+            raise ConfigError(f"negative latency: {latency}")
+        self._latency_overrides[(a, b)] = latency
+        self._latency_overrides[(b, a)] = latency
+
+    def latency(self, src: int, dst: int) -> float:
+        """One-way propagation latency between two nodes.
+
+        Resolution order: loopback, explicit pair override, topology
+        model, uniform link default.
+        """
+        if src == dst:
+            return self.config.link.loopback_latency
+        override = self._latency_overrides.get((src, dst))
+        if override is not None:
+            return override
+        if self.topology is not None:
+            return self.topology.latency(src, dst)
+        return self.config.link.latency
+
+    def __repr__(self) -> str:
+        return f"<Fabric nodes={self.n_nodes}>"

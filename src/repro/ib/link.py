@@ -1,0 +1,67 @@
+"""The wire model: chunked, shared, rate-limited serialization.
+
+Large transmissions are split into ``wire_chunk``-byte chunks.  Each
+chunk claims the sender NIC's egress port (a capacity-1 resource) for
+its serialization time, and per-QP injection is rate-limited to
+``qp_rate`` by spacing chunk starts.  The gaps a single slow QP leaves
+on the wire are exactly where chunks of *other* QPs slot in — which is
+how multiple QPs recover full line rate for large messages (paper
+Fig. 7) without simulating individual packets.
+
+Ingress at the receiver is serialized analytically with a busy-until
+clock shifted one propagation latency after egress, so concurrent
+senders targeting one node contend realistically (needed for the
+Sweep3D runs of Fig. 14).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.config import NICConfig
+
+
+def iter_chunks(nbytes: int, chunk_size: int) -> Iterator[int]:
+    """Chunk byte counts for a transmission of ``nbytes``.
+
+    Zero-byte messages (pure-immediate writes) yield one zero chunk so
+    header-only packets still traverse the wire.
+    """
+    if nbytes == 0:
+        yield 0
+        return
+    full, rem = divmod(nbytes, chunk_size)
+    for _ in range(full):
+        yield chunk_size
+    if rem:
+        yield rem
+
+
+def chunk_occupancy(nbytes: int, cfg: NICConfig) -> float:
+    """Wire occupancy of one chunk: serialization plus packet costs."""
+    npackets = max(1, math.ceil(nbytes / cfg.mtu))
+    return nbytes / cfg.line_rate + npackets * cfg.t_pkt
+
+
+def injection_spacing(nbytes: int, cfg: NICConfig) -> float:
+    """Minimum spacing between chunk starts on one QP (rate limiting)."""
+    npackets = max(1, math.ceil(nbytes / cfg.mtu))
+    return nbytes / cfg.qp_rate + npackets * cfg.t_pkt
+
+
+class IngressPort:
+    """Analytic receive-side serializer: a busy-until clock per NIC."""
+
+    def __init__(self):
+        self.busy_until = 0.0
+        self.bytes_received = 0
+
+    def admit(self, egress_start: float, occupancy: float, latency: float,
+              nbytes: int) -> float:
+        """Serialize one chunk arriving after ``latency``; returns its
+        completion time at the receiver."""
+        start = max(egress_start + latency, self.busy_until)
+        self.busy_until = start + occupancy
+        self.bytes_received += nbytes
+        return self.busy_until

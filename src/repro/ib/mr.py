@@ -1,0 +1,89 @@
+"""Memory regions: registered buffers the NIC may access."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ProtectionError
+from repro.ib.constants import ACCESS_LOCAL, ACCESS_REMOTE_READ, ACCESS_REMOTE_WRITE
+from repro.mem.buffer import Buffer
+
+_key_counter = itertools.count(0x1000)
+
+
+class MemoryRegion:
+    """A registered range of host memory (``ibv_mr``).
+
+    Registration pins the buffer and yields a local key (``lkey``) for
+    gather/scatter elements and a remote key (``rkey``) remote peers
+    must present for RDMA access.
+    """
+
+    def __init__(self, pd, buffer: Buffer, access: int = ACCESS_LOCAL):
+        self.pd = pd
+        self.buffer = buffer
+        self.access = access
+        self.lkey: int = next(_key_counter)
+        self.rkey: int = next(_key_counter)
+        self.addr: int = buffer.addr
+        self.length: int = buffer.nbytes
+        self._valid = True
+
+    @property
+    def valid(self) -> bool:
+        return self._valid
+
+    def deregister(self) -> None:
+        """Invalidate the region (``ibv_dereg_mr``)."""
+        self._valid = False
+
+    def contains(self, addr: int, length: int) -> bool:
+        """Whether [addr, addr+length) lies inside this region."""
+        return self.addr <= addr and addr + length <= self.addr + self.length
+
+    def check_local(self, addr: int, length: int, lkey: int) -> None:
+        """Validate a local (gather) access."""
+        if not self._valid:
+            raise ProtectionError("access through deregistered MR")
+        if lkey != self.lkey:
+            raise ProtectionError(f"bad lkey {lkey:#x} (expected {self.lkey:#x})")
+        if not self.contains(addr, length):
+            raise ProtectionError(
+                f"local access [{addr:#x}, +{length}) outside MR "
+                f"[{self.addr:#x}, +{self.length})"
+            )
+
+    def check_remote_write(self, addr: int, length: int, rkey: int) -> None:
+        """Validate an inbound RDMA write."""
+        if not self._valid:
+            raise ProtectionError("remote access through deregistered MR")
+        if rkey != self.rkey:
+            raise ProtectionError(f"bad rkey {rkey:#x} (expected {self.rkey:#x})")
+        if not (self.access & ACCESS_REMOTE_WRITE):
+            raise ProtectionError("MR not registered for remote write")
+        if not self.contains(addr, length):
+            raise ProtectionError(
+                f"remote write [{addr:#x}, +{length}) outside MR "
+                f"[{self.addr:#x}, +{self.length})"
+            )
+
+    def check_remote_read(self, addr: int, length: int, rkey: int) -> None:
+        """Validate an inbound RDMA read (the responder side)."""
+        if not self._valid:
+            raise ProtectionError("remote access through deregistered MR")
+        if rkey != self.rkey:
+            raise ProtectionError(f"bad rkey {rkey:#x} (expected {self.rkey:#x})")
+        if not (self.access & ACCESS_REMOTE_READ):
+            raise ProtectionError("MR not registered for remote read")
+        if not self.contains(addr, length):
+            raise ProtectionError(
+                f"remote read [{addr:#x}, +{length}) outside MR "
+                f"[{self.addr:#x}, +{self.length})"
+            )
+
+    def local_offset(self, addr: int) -> int:
+        """Buffer-relative offset of virtual address ``addr``."""
+        return addr - self.addr
+
+    def __repr__(self) -> str:
+        return f"<MR lkey={self.lkey:#x} rkey={self.rkey:#x} {self.length}B>"

@@ -1,0 +1,357 @@
+"""The NIC engine: WQE processing, transmission, delivery, completion.
+
+One :class:`NIC` per simulated node.  Each registered QP gets a sender
+process that drains the QP's send queue in order (per-QP ordering is an
+InfiniBand RC guarantee the MPI mapping relies on).  Transmission
+timing follows :mod:`repro.ib.link`; delivery performs the actual
+remote-memory write and produces work completions on both sides.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.errors import ProtectionError
+from repro.ib.constants import Opcode, QPState, WCOpcode, WCStatus
+from repro.ib.link import IngressPort, chunk_occupancy, injection_spacing, iter_chunks
+from repro.ib.qp import QueuePair
+from repro.ib.wr import SendWR, WorkCompletion
+from repro.sim.core import Environment
+from repro.sim.monitor import Trace
+from repro.sim.resources import Resource, Store
+
+if TYPE_CHECKING:
+    from repro.ib.fabric import Fabric
+
+
+class NIC:
+    """A simulated HCA attached to one node."""
+
+    def __init__(self, env: Environment, fabric: "Fabric", node_id: int,
+                 config: ClusterConfig, trace: Optional[Trace] = None):
+        self.env = env
+        self.fabric = fabric
+        self.node_id = node_id
+        self.config = config
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        #: Egress port: capacity-1 serializer shared by all QPs.
+        self.egress = Resource(env, capacity=1)
+        self.ingress = IngressPort()
+        self._qp_numbers = itertools.count(node_id * 1_000_000 + 1)
+        self.qps: dict[int, QueuePair] = {}
+        # statistics
+        self.wqes_processed = 0
+        self.bytes_transmitted = 0
+        self.messages_delivered = 0
+
+    # -- QP lifecycle -----------------------------------------------------
+
+    def register_qp(self, qp: QueuePair) -> None:
+        """Attach a QP to this NIC and start its engine pipeline.
+
+        Each QP gets a two-stage pipeline: WQE fetch/parse (``t_wqe``
+        per entry) feeding an in-order transmit stage, so WQE processing
+        overlaps the previous message's wire time — as the hardware
+        pipelines them.
+        """
+        if len(self.qps) >= self.config.nic.max_qps:
+            raise ProtectionError("QP limit exceeded on NIC")
+        qp.nic = self
+        qp.sq = Store(self.env)
+        qp._txq = Store(self.env)
+        self.qps[qp.qp_num] = qp
+        self.env.process(self._qp_fetcher(qp))
+        self.env.process(self._qp_transmitter(qp))
+
+    def next_qp_num(self) -> int:
+        return next(self._qp_numbers)
+
+    # -- send path ----------------------------------------------------------
+
+    def _qp_fetcher(self, qp: QueuePair):
+        """Stage 1: fetch/parse WQEs (pipelines with transmission)."""
+        cfg = self.config.nic
+        while True:
+            wr: SendWR = yield qp.sq.get()
+            qp.sq_depth -= 1
+            if qp.state is QPState.ERROR:
+                self._flush_wr(qp, wr)
+                continue
+            # WQE fetch + DMA programming.
+            yield self.env.timeout(cfg.t_wqe)
+            self.wqes_processed += 1
+            # Reads source their data at the responder; the local list
+            # is a scatter sink, so there is nothing to gather here.
+            payload = (None if wr.opcode is Opcode.RDMA_READ
+                       else self._gather(qp, wr))
+            self.trace.record(self.env.now, "ib.wqe_start", self.node_id,
+                              qp=qp.qp_num, wr_id=wr.wr_id,
+                              nbytes=wr.total_length)
+            yield qp._txq.put((wr, payload))
+
+    def _qp_transmitter(self, qp: QueuePair):
+        """Stage 2: in-order transmission of one QP's messages."""
+        while True:
+            wr, payload = yield qp._txq.get()
+            if qp.state is QPState.ERROR:
+                self._flush_wr(qp, wr)
+                continue
+            nbytes = wr.total_length
+            remote = self.fabric.nic_at(qp.dest_node)
+            if wr.opcode is Opcode.RDMA_READ:
+                yield from self._execute_read(qp, wr, nbytes, remote)
+            elif remote is self:
+                yield from self._transmit_loopback(qp, wr, payload, nbytes, remote)
+            else:
+                yield from self._transmit_wire(qp, wr, payload, nbytes, remote)
+
+    def _transmit_wire(self, qp: QueuePair, wr: SendWR, payload, nbytes: int,
+                       remote: "NIC"):
+        cfg = self.config.nic
+        latency = self.fabric.latency(self.node_id, remote.node_id)
+        arrival = self.env.now
+        for chunk in iter_chunks(nbytes, cfg.wire_chunk):
+            # Per-QP injection rate limit: spaces chunk starts so a lone
+            # QP tops out at qp_rate; gaps are usable by other QPs.
+            if self.env.now < qp.next_inject_time:
+                yield self.env.timeout(qp.next_inject_time - self.env.now)
+            grant = self.egress.request()
+            yield grant
+            start = self.env.now
+            occupancy = chunk_occupancy(chunk, cfg)
+            yield self.env.timeout(occupancy)
+            self.egress.release(grant)
+            qp.next_inject_time = start + injection_spacing(chunk, cfg)
+            self.bytes_transmitted += chunk
+            self.trace.record(start, "ib.chunk", self.node_id,
+                              qp=qp.qp_num, nbytes=chunk,
+                              occupancy=occupancy)
+            arrival = remote.ingress.admit(start, occupancy, latency, chunk)
+        self._schedule_delivery(qp, wr, payload, nbytes, remote,
+                                arrival, ack_latency=latency)
+
+    def _transmit_loopback(self, qp: QueuePair, wr: SendWR, payload,
+                           nbytes: int, remote: "NIC"):
+        host = self.config.host
+        link = self.config.link
+        copy_time = nbytes / host.memcpy_rate
+        yield self.env.timeout(copy_time)
+        arrival = self.env.now + link.loopback_latency
+        self.bytes_transmitted += nbytes
+        self._schedule_delivery(qp, wr, payload, nbytes, remote, arrival,
+                                ack_latency=link.loopback_latency)
+
+    def _flush_wr(self, qp: QueuePair, wr: SendWR) -> None:
+        """Complete a send WR with WR_FLUSH_ERR on a killed QP."""
+        if wr.opcode.is_rdma:
+            qp.outstanding_rdma -= 1
+            qp.notify_slot_free()
+        if wr.signaled:
+            qp.send_cq.push(WorkCompletion(
+                wr_id=wr.wr_id,
+                status=WCStatus.WR_FLUSH_ERR,
+                opcode=WCOpcode.RDMA_WRITE if wr.opcode.is_rdma
+                else WCOpcode.SEND,
+                qp_num=qp.qp_num,
+                completed_at=self.env.now,
+            ))
+
+    def _execute_read(self, qp: QueuePair, wr: SendWR, nbytes: int,
+                      remote: "NIC"):
+        """RDMA READ: request travels out, data streams back.
+
+        The responder's NIC sources the bytes with no responder CPU;
+        response data is paced by the *responder-side* QP (the connected
+        peer), shares the responder's egress wire, and serializes into
+        this NIC's ingress.  Reads keep same-QP ordering: the
+        transmitter stays on this WQE until the response completes, as
+        RC read semantics require for following operations.
+        """
+        cfg = self.config.nic
+        env = self.env
+        if remote is self:
+            # Loopback read: a host-memory copy.
+            yield env.timeout(nbytes / self.config.host.memcpy_rate
+                              + self.config.link.loopback_latency)
+            arrival = env.now
+        else:
+            latency = self.fabric.latency(self.node_id, remote.node_id)
+            # Request packet out through our egress.
+            grant = self.egress.request()
+            yield grant
+            yield env.timeout(cfg.t_pkt)
+            self.egress.release(grant)
+            # Flight plus responder WQE handling.
+            yield env.timeout(latency + cfg.t_wqe)
+            responder_qp = remote.qps.get(qp.dest_qp_num)
+            if responder_qp is None:
+                raise ProtectionError(
+                    f"no QP {qp.dest_qp_num} on node {remote.node_id}")
+            arrival = env.now
+            for chunk in iter_chunks(nbytes, cfg.wire_chunk):
+                if env.now < responder_qp.next_inject_time:
+                    yield env.timeout(
+                        responder_qp.next_inject_time - env.now)
+                grant = remote.egress.request()
+                yield grant
+                start = env.now
+                occupancy = chunk_occupancy(chunk, cfg)
+                yield env.timeout(occupancy)
+                remote.egress.release(grant)
+                responder_qp.next_inject_time = (
+                    start + injection_spacing(chunk, cfg))
+                remote.bytes_transmitted += chunk
+                arrival = self.ingress.admit(start, occupancy, latency, chunk)
+            if arrival > env.now:
+                yield env.timeout(arrival - env.now)
+        # Source the bytes from the responder's memory and scatter them
+        # into the local sink list.
+        payload = None
+        if nbytes > 0:
+            responder_qp = remote.qps.get(qp.dest_qp_num)
+            mr = responder_qp.pd.find_mr_by_rkey(wr.rkey)
+            mr.check_remote_read(wr.remote_addr, nbytes, wr.rkey)
+            payload = mr.buffer.read(mr.local_offset(wr.remote_addr), nbytes)
+        cursor = 0
+        for sge in wr.sg_list:
+            if sge.length == 0:
+                continue
+            sink = qp.pd.find_mr_by_lkey(sge.lkey)
+            piece = (payload[cursor : cursor + sge.length]
+                     if payload is not None else None)
+            sink.buffer.write(sink.local_offset(sge.addr), piece)
+            cursor += sge.length
+        qp.outstanding_rdma -= 1
+        qp.notify_slot_free()
+        if wr.signaled:
+            yield env.timeout(cfg.t_cqe)
+            qp.send_cq.push(WorkCompletion(
+                wr_id=wr.wr_id,
+                status=WCStatus.SUCCESS,
+                opcode=WCOpcode.RDMA_READ,
+                qp_num=qp.qp_num,
+                byte_len=nbytes,
+                completed_at=env.now,
+            ))
+
+    def _gather(self, qp: QueuePair, wr: SendWR) -> Optional[np.ndarray]:
+        """Snapshot the gather list (the DMA read), or None if phantom."""
+        pieces = []
+        for sge in wr.sg_list:
+            if sge.length == 0:
+                continue
+            mr = qp.pd.find_mr_by_lkey(sge.lkey)
+            view = mr.buffer.read(mr.local_offset(sge.addr), sge.length)
+            if view is None:
+                return None
+            pieces.append(view)
+        if not pieces:
+            return np.empty(0, dtype=np.uint8)
+        if len(pieces) == 1:
+            return pieces[0].copy()
+        return np.concatenate(pieces)
+
+    # -- delivery / completion ------------------------------------------------
+
+    def _schedule_delivery(self, qp: QueuePair, wr: SendWR, payload,
+                           nbytes: int, remote: "NIC", arrival: float,
+                           ack_latency: float) -> None:
+        env = self.env
+
+        def delivery_proc(env):
+            yield env.timeout(max(0.0, arrival - env.now))
+            remote._deliver(qp, wr, payload, nbytes)
+            # ACK returns to the sender; outstanding slot frees and the
+            # sender-side completion (if signaled) is generated.
+            yield env.timeout(ack_latency)
+            if wr.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM):
+                qp.outstanding_rdma -= 1
+                qp.notify_slot_free()
+            if wr.signaled:
+                yield env.timeout(self.config.nic.t_cqe)
+                qp.send_cq.push(WorkCompletion(
+                    wr_id=wr.wr_id,
+                    status=WCStatus.SUCCESS,
+                    opcode=WCOpcode.RDMA_WRITE if wr.opcode in
+                    (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM)
+                    else WCOpcode.SEND,
+                    qp_num=qp.qp_num,
+                    byte_len=nbytes,
+                    completed_at=env.now,
+                ))
+
+        env.process(delivery_proc(env))
+
+    def _deliver(self, src_qp: QueuePair, wr: SendWR, payload, nbytes: int) -> None:
+        """Inbound message: place data, consume RQ entry, raise CQE."""
+        dest_qp = self.qps.get(src_qp.dest_qp_num)
+        if dest_qp is None:
+            raise ProtectionError(
+                f"no QP {src_qp.dest_qp_num} on node {self.node_id}"
+            )
+        if dest_qp.state not in (QPState.RTR, QPState.RTS):
+            raise ProtectionError(
+                f"inbound message on QP {dest_qp.qp_num} in state "
+                f"{dest_qp.state.value}"
+            )
+        self.messages_delivered += 1
+        if wr.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM) and nbytes > 0:
+            mr = dest_qp.pd.find_mr_by_rkey(wr.rkey)
+            mr.check_remote_write(wr.remote_addr, nbytes, wr.rkey)
+            mr.buffer.write(mr.local_offset(wr.remote_addr), payload)
+        self.trace.record(self.env.now, "ib.deliver", self.node_id,
+                          qp=dest_qp.qp_num, wr_id=wr.wr_id, nbytes=nbytes)
+        if wr.opcode.consumes_recv_wr:
+            recv_wr = dest_qp.consume_recv()
+            if wr.opcode in (Opcode.SEND, Opcode.SEND_WITH_IMM):
+                # Channel semantics: the payload scatters into the
+                # posted receive WR's local list.
+                self._scatter_into_recv(dest_qp, recv_wr, payload, nbytes)
+            env = self.env
+            cfg = self.config.nic
+
+            def cqe_proc(env):
+                yield env.timeout(cfg.t_cqe)
+                dest_qp.recv_cq.push(WorkCompletion(
+                    wr_id=recv_wr.wr_id,
+                    status=WCStatus.SUCCESS,
+                    opcode=WCOpcode.RECV_RDMA_WITH_IMM
+                    if wr.opcode is Opcode.RDMA_WRITE_WITH_IMM
+                    else WCOpcode.RECV,
+                    qp_num=dest_qp.qp_num,
+                    byte_len=nbytes,
+                    imm_data=wr.imm_data,
+                    completed_at=env.now,
+                ))
+
+            env.process(cqe_proc(env))
+
+    def _scatter_into_recv(self, dest_qp: QueuePair, recv_wr, payload,
+                           nbytes: int) -> None:
+        """Place a two-sided SEND's payload into the receive WR's SGEs."""
+        capacity = sum(sge.length for sge in recv_wr.sg_list)
+        if nbytes > capacity:
+            raise ProtectionError(
+                f"SEND of {nbytes}B exceeds the posted receive WR's "
+                f"{capacity}B (local length error)")
+        remaining = nbytes
+        cursor = 0
+        for sge in recv_wr.sg_list:
+            if remaining == 0:
+                break
+            take = min(sge.length, remaining)
+            if take == 0:
+                continue
+            mr = dest_qp.pd.find_mr_by_lkey(sge.lkey)
+            piece = (payload[cursor : cursor + take]
+                     if payload is not None else None)
+            mr.buffer.write(mr.local_offset(sge.addr), piece)
+            cursor += take
+            remaining -= take
+
+    def __repr__(self) -> str:
+        return f"<NIC node={self.node_id} qps={len(self.qps)}>"

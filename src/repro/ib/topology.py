@@ -1,0 +1,102 @@
+"""Fabric topologies: latency structure beyond the uniform crossbar.
+
+Niagara's EDR fabric is a **Dragonfly+** (Section V-A): nodes attach to
+leaf switches grouped into Dragonfly groups; intra-group traffic
+crosses leaf/spine switches inside the group, inter-group traffic adds
+a global-link hop.  At the paper's message sizes the bandwidth is
+non-blocking either way (full bisection), so topology shows up as a
+per-hop latency difference — which is exactly what this model adds.
+
+Use with :class:`repro.ib.fabric.Fabric` via the ``topology`` argument;
+the default remains the uniform crossbar.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import us
+
+
+class Topology(abc.ABC):
+    """Maps a node pair to a one-way propagation latency."""
+
+    @abc.abstractmethod
+    def latency(self, src: int, dst: int) -> float:
+        """One-way latency between two distinct nodes."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class UniformTopology(Topology):
+    """Every pair at the same latency (non-blocking crossbar)."""
+
+    pair_latency: float = us(0.6)
+
+    def __post_init__(self):
+        if self.pair_latency < 0:
+            raise ConfigError("negative latency")
+
+    def latency(self, src: int, dst: int) -> float:
+        return self.pair_latency
+
+    def describe(self) -> str:
+        return f"uniform({self.pair_latency})"
+
+
+@dataclass(frozen=True)
+class DragonflyPlus(Topology):
+    """Two-level Dragonfly+: leaf groups joined by global links.
+
+    Parameters mirror an EDR Dragonfly+ like Niagara's:
+
+    * ``nodes_per_leaf`` — nodes under one leaf switch (same-leaf pairs
+      cross a single switch);
+    * ``leaves_per_group`` — leaf switches per Dragonfly group
+      (same-group pairs add a spine hop);
+    * inter-group pairs add the global-link hop.
+    """
+
+    nodes_per_leaf: int = 16
+    leaves_per_group: int = 12
+    same_leaf_latency: float = us(0.35)
+    intra_group_latency: float = us(0.6)
+    inter_group_latency: float = us(0.95)
+
+    def __post_init__(self):
+        if self.nodes_per_leaf < 1 or self.leaves_per_group < 1:
+            raise ConfigError("topology dimensions must be >= 1")
+        if not (0 <= self.same_leaf_latency
+                <= self.intra_group_latency
+                <= self.inter_group_latency):
+            raise ConfigError(
+                "latencies must be ordered: leaf <= group <= global")
+
+    @property
+    def nodes_per_group(self) -> int:
+        return self.nodes_per_leaf * self.leaves_per_group
+
+    def leaf_of(self, node: int) -> int:
+        return node // self.nodes_per_leaf
+
+    def group_of(self, node: int) -> int:
+        return node // self.nodes_per_group
+
+    def latency(self, src: int, dst: int) -> float:
+        if self.leaf_of(src) == self.leaf_of(dst):
+            return self.same_leaf_latency
+        if self.group_of(src) == self.group_of(dst):
+            return self.intra_group_latency
+        return self.inter_group_latency
+
+    def describe(self) -> str:
+        return (f"dragonfly+({self.nodes_per_leaf}x{self.leaves_per_group}"
+                f" per group)")
+
+
+#: Niagara-like instance: 2024 nodes in Dragonfly+ groups.
+NIAGARA_TOPOLOGY = DragonflyPlus()

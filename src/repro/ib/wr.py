@@ -1,0 +1,110 @@
+"""Work requests, scatter/gather elements, and work completions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ProtectionError
+from repro.ib.constants import Opcode, WCOpcode, WCStatus
+
+
+@dataclass(frozen=True)
+class SGE:
+    """A scatter/gather element: one contiguous local range.
+
+    Attributes
+    ----------
+    addr:
+        Start virtual address inside a registered MR.
+    length:
+        Bytes.
+    lkey:
+        Local key of the MR covering the range.
+    """
+
+    addr: int
+    length: int
+    lkey: int
+
+    def __post_init__(self):
+        if self.length < 0:
+            raise ValueError(f"SGE length must be >= 0, got {self.length}")
+
+
+@dataclass
+class SendWR:
+    """A send-queue work request (``ibv_send_wr``).
+
+    For RDMA write opcodes, ``remote_addr``/``rkey`` name the target
+    range; ``imm_data`` rides along for ``*_WITH_IMM`` opcodes and is
+    delivered in the remote completion.
+    """
+
+    wr_id: int
+    opcode: Opcode
+    sg_list: Sequence[SGE]
+    remote_addr: int = 0
+    rkey: int = 0
+    imm_data: Optional[int] = None
+    #: Request a completion on the sender CQ when done.
+    signaled: bool = True
+
+    def __post_init__(self):
+        if self.opcode.has_immediate:
+            if self.imm_data is None:
+                raise ValueError(f"{self.opcode} requires imm_data")
+            if not (0 <= self.imm_data < 2**32):
+                raise ValueError(
+                    f"imm_data must fit __be32, got {self.imm_data:#x}"
+                )
+        if not self.sg_list:
+            raise ValueError("sg_list must contain at least one SGE")
+
+    @property
+    def total_length(self) -> int:
+        """Total bytes named by the gather list."""
+        return sum(sge.length for sge in self.sg_list)
+
+
+@dataclass
+class RecvWR:
+    """A receive-queue work request (``ibv_recv_wr``).
+
+    For RDMA-write-with-immediate traffic the receive buffer is not
+    used for payload (data lands at the sender-specified remote
+    address); the entry exists to absorb the immediate and produce the
+    receive completion, so an empty ``sg_list`` is legal — exactly how
+    the paper's module posts its receives in ``MPI_Start``.
+    """
+
+    wr_id: int
+    sg_list: Sequence[SGE] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class WorkCompletion:
+    """A completion queue entry (``ibv_wc``)."""
+
+    wr_id: int
+    status: WCStatus
+    opcode: WCOpcode
+    qp_num: int
+    byte_len: int = 0
+    imm_data: Optional[int] = None
+    #: Virtual time the completion was placed on the CQ.
+    completed_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WCStatus.SUCCESS
+
+    def require_success(self) -> "WorkCompletion":
+        """Return self, raising CompletionError on failure status."""
+        if not self.ok:
+            from repro.errors import CompletionError
+
+            raise CompletionError(
+                f"work completion failed: wr_id={self.wr_id} status={self.status}"
+            )
+        return self

@@ -1,0 +1,5 @@
+"""Host memory model: buffers and partition views."""
+
+from repro.mem.buffer import Buffer, PartitionedBuffer
+
+__all__ = ["Buffer", "PartitionedBuffer"]

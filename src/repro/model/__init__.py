@@ -1,0 +1,55 @@
+"""LogGP / PLogGP analytic models (paper Section II-C).
+
+:mod:`repro.model.loggp` holds the classic LogGP parameter set and
+point-to-point cost functions; :mod:`repro.model.ploggp` extends them to
+partitioned communication with arrival patterns (the PLogGP model of
+Schonbein et al. the paper uses for its aggregators);
+:mod:`repro.model.tables` regenerates the paper's Table I;
+:mod:`repro.model.netgauge` measures LogGP parameters on the simulated
+fabric the way the paper used Netgauge on Niagara.
+"""
+
+from repro.model.loggp import LogGPParams, LogGPTable, ptp_time, back_to_back_time
+from repro.model.arrival import (
+    simultaneous,
+    many_before_one,
+    uniform_stagger,
+    one_before_many,
+)
+from repro.model.ploggp import (
+    PLogGPResult,
+    completion_time,
+    transport_ready_times,
+    optimal_transport_partitions,
+    model_curve,
+)
+from repro.model.tables import NIAGARA_LOGGP, generate_table1, TABLE1_PAPER
+from repro.model.closed_form import (
+    simultaneous_completion,
+    wide_window_completion,
+    early_bird_clears,
+    optimal_partitions_sqrt_rule,
+)
+
+__all__ = [
+    "LogGPParams",
+    "LogGPTable",
+    "ptp_time",
+    "back_to_back_time",
+    "simultaneous",
+    "many_before_one",
+    "uniform_stagger",
+    "one_before_many",
+    "PLogGPResult",
+    "completion_time",
+    "transport_ready_times",
+    "optimal_transport_partitions",
+    "model_curve",
+    "NIAGARA_LOGGP",
+    "generate_table1",
+    "TABLE1_PAPER",
+    "simultaneous_completion",
+    "wide_window_completion",
+    "early_bird_clears",
+    "optimal_partitions_sqrt_rule",
+]

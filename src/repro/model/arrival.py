@@ -1,0 +1,72 @@
+"""User-partition arrival patterns for the PLogGP model.
+
+Each function returns the times at which the ``n`` user partitions are
+marked ready (``MPI_Pready`` times), as a list of ``n`` floats.  The
+paper focuses on **many-before-one** — all but one thread finish
+simultaneously and one laggard is delayed (Section IV-C) — matching the
+"single thread delay model" its benchmarks inject.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"need at least one partition, got {n}")
+
+
+def simultaneous(n: int) -> list[float]:
+    """All partitions ready at t=0 (the no-noise overhead benchmark)."""
+    _check_n(n)
+    return [0.0] * n
+
+
+def many_before_one(n: int, delay: float, laggard: Optional[int] = None) -> list[float]:
+    """All ready at 0 except one laggard ready at ``delay``.
+
+    ``laggard`` defaults to the last partition.
+    """
+    _check_n(n)
+    if delay < 0:
+        raise ValueError(f"negative delay: {delay}")
+    if laggard is None:
+        laggard = n - 1
+    if not (0 <= laggard < n):
+        raise ValueError(f"laggard index {laggard} outside [0, {n})")
+    times = [0.0] * n
+    times[laggard] = delay
+    return times
+
+
+def one_before_many(n: int, delay: float, early: int = 0) -> list[float]:
+    """One partition ready at 0, the rest at ``delay``."""
+    _check_n(n)
+    if delay < 0:
+        raise ValueError(f"negative delay: {delay}")
+    if not (0 <= early < n):
+        raise ValueError(f"early index {early} outside [0, {n})")
+    times = [delay] * n
+    times[early] = 0.0
+    return times
+
+
+def uniform_stagger(n: int, spread: float) -> list[float]:
+    """Partitions ready at evenly spaced times across ``spread``."""
+    _check_n(n)
+    if spread < 0:
+        raise ValueError(f"negative spread: {spread}")
+    if n == 1:
+        return [0.0]
+    return list(np.linspace(0.0, spread, n))
+
+
+def random_stagger(n: int, spread: float, rng: np.random.Generator) -> list[float]:
+    """Partitions ready at uniform-random times in [0, spread]."""
+    _check_n(n)
+    if spread < 0:
+        raise ValueError(f"negative spread: {spread}")
+    return list(rng.uniform(0.0, spread, size=n))

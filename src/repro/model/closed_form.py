@@ -1,0 +1,75 @@
+"""Closed-form PLogGP expressions for the regimes the paper discusses.
+
+The recurrence in :mod:`repro.model.ploggp` handles arbitrary arrival
+patterns; in the two regimes the paper reasons about, it collapses to
+closed forms that make the trade-offs legible (and are property-tested
+against the recurrence):
+
+* **Simultaneous arrival** (the no-noise overhead benchmark): every
+  transport partition is ready at t=0; posts serialize at ``o_s`` and
+  the wire admits one message per ``max(g, G·k)``.
+* **Many-before-one with a wide delay window**: the n−1 early transport
+  partitions clear the wire inside the laggard's delay, so completion
+  is the laggard's chunk plus the deferred receiver drain — the
+  ``G·S/P + P·o_r`` trade-off whose optimum is Table I's
+  ``P* ≈ sqrt(G·S / o_r)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.loggp import LogGPParams
+
+
+def simultaneous_completion(p: LogGPParams, total_bytes: int,
+                            n_transport: int) -> float:
+    """Closed form for all partitions ready at t=0.
+
+    ``o_s + (P-1)·max(o_s, gap) + gap·[last injection] ...`` — written
+    out: injections start every ``max(o_s, gap)`` after the first post,
+    where ``gap = max(g, G·k)``; the last message lands ``G·k + L``
+    after its injection and the receiver drains ``P·o_r``.
+    """
+    k = total_bytes // n_transport
+    wire_each = k * p.G
+    gap = max(p.g, wire_each)
+    step = max(p.o_s, gap)
+    last_inject = p.o_s + (n_transport - 1) * step
+    return last_inject + wire_each + p.L + n_transport * p.o_r
+
+
+def wide_window_completion(p: LogGPParams, total_bytes: int,
+                           n_transport: int, delay: float) -> float:
+    """Closed form for many-before-one when the window is wide.
+
+    Valid when the n−1 early chunks clear the wire before the laggard
+    arrives (``early_bird_clears`` below); then
+    ``T = delay + o_s + G·S/P + L + P·o_r``.
+    """
+    k = total_bytes // n_transport
+    return delay + p.o_s + k * p.G + p.L + n_transport * p.o_r
+
+
+def early_bird_clears(p: LogGPParams, total_bytes: int,
+                      n_transport: int, delay: float) -> bool:
+    """Whether the early chunks' wire time fits inside the delay."""
+    if n_transport == 1:
+        return True
+    k = total_bytes // n_transport
+    gap = max(p.g, k * p.G)
+    # (P-1) early messages injected max(o_s, gap) apart after the first
+    # post, finishing k·G later each.
+    last_early_done = p.o_s + (n_transport - 2) * max(p.o_s, gap) + gap
+    return last_early_done <= delay
+
+
+def optimal_partitions_sqrt_rule(p: LogGPParams, total_bytes: int) -> float:
+    """The continuous optimum of ``G·S/P + P·o_r``: ``sqrt(G·S/o_r)``.
+
+    Table I is this, floored to the nearest power of two and clamped to
+    [1, 32] — the signature the generated table exhibits.
+    """
+    if p.o_r == 0:
+        return float("inf")
+    return math.sqrt(total_bytes * p.G / p.o_r)

@@ -1,0 +1,203 @@
+"""The Partitioned LogGP (PLogGP) model.
+
+Extends LogGP to a buffer of ``total_bytes`` split into ``n_transport``
+equal transport partitions whose readiness is driven by user-partition
+arrival times (paper Section II-C; model of Schonbein et al. [18]).
+
+The cost recurrence mirrors the paper's single-threaded runtime design:
+
+* a transport partition becomes ready when the *last* user partition
+  mapped to it arrives;
+* posts are serialized on the sending process (``o_s`` each, in
+  readiness order);
+* the wire admits at most one message at a time, with at least
+  ``max(g, G*k)`` between injection starts;
+* each message's last byte lands ``G*k + L`` after injection;
+* the receiver drains all per-message completions (``o_r`` each) when
+  it completes the partitioned request.  Deferring the drain reflects
+  the evaluated workloads: receiver threads are busy with their own
+  compute phase while messages arrive, and the single-threaded progress
+  engine only runs when the application calls ``MPI_Wait``/``Test``
+  (Section IV-A).  This term is what penalizes high partition counts
+  for small messages (Fig. 3's ordering).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.model.arrival import many_before_one
+from repro.model.loggp import LogGPParams, LogGPTable
+from repro.units import is_power_of_two, powers_of_two
+
+ParamsLike = Union[LogGPParams, LogGPTable]
+
+
+def _params_for(params: ParamsLike, nbytes: int) -> LogGPParams:
+    if isinstance(params, LogGPTable):
+        return params.lookup(nbytes)
+    return params
+
+
+def transport_ready_times(user_ready: Sequence[float], n_transport: int) -> list[float]:
+    """Readiness time of each transport partition.
+
+    User partitions are grouped contiguously and aligned on
+    ``n_user / n_transport`` boundaries (paper Section IV-C); a group is
+    ready when its slowest member is.
+    """
+    n_user = len(user_ready)
+    if n_transport < 1 or n_transport > n_user:
+        raise ValueError(
+            f"n_transport must be in [1, {n_user}], got {n_transport}"
+        )
+    if n_user % n_transport != 0:
+        raise ValueError(
+            f"{n_transport} transport partitions do not evenly divide "
+            f"{n_user} user partitions"
+        )
+    group = n_user // n_transport
+    return [
+        max(user_ready[i * group : (i + 1) * group])
+        for i in range(n_transport)
+    ]
+
+
+@dataclass(frozen=True)
+class PLogGPResult:
+    """Outcome of one PLogGP evaluation."""
+
+    total_bytes: int
+    n_transport: int
+    completion_time: float
+    #: Arrival time of each transport partition's last byte at the receiver.
+    arrivals: tuple[float, ...]
+    #: Injection start of each transport partition.
+    injections: tuple[float, ...]
+
+
+def completion_time(
+    params: ParamsLike,
+    total_bytes: int,
+    n_transport: int,
+    user_ready: Sequence[float],
+    deferred_drain: bool = True,
+) -> PLogGPResult:
+    """Modelled time to complete a partitioned transfer.
+
+    Parameters
+    ----------
+    params:
+        LogGP parameters, possibly size-keyed (looked up at the
+        *transport* partition size, as the paper's per-size hash table).
+    total_bytes:
+        Aggregate message size.
+    n_transport:
+        Number of equal transport partitions.
+    user_ready:
+        ``MPI_Pready`` time of each user partition.
+    deferred_drain:
+        Charge the receiver's per-message ``o_r`` at the end (see module
+        docstring).  With ``False``, ``o_r`` is charged per message on
+        arrival, overlapping earlier messages' handling with later
+        messages' flight.
+    """
+    if total_bytes < 0:
+        raise ValueError(f"negative total_bytes: {total_bytes}")
+    ready = transport_ready_times(user_ready, n_transport)
+    k = total_bytes // n_transport
+    p = _params_for(params, max(k, 1))
+    order = sorted(range(n_transport), key=lambda i: (ready[i], i))
+    sender_free = 0.0
+    wire_free = 0.0
+    recv_free = 0.0
+    injections = [0.0] * n_transport
+    arrivals = [0.0] * n_transport
+    wire_each = k * p.G
+    gap = max(p.g, wire_each)
+    for i in order:
+        post_start = max(ready[i], sender_free)
+        sender_free = post_start + p.o_s
+        inject = max(sender_free, wire_free)
+        wire_free = inject + gap
+        injections[i] = inject
+        arrivals[i] = inject + wire_each + p.L
+    last_arrival = max(arrivals)
+    if deferred_drain:
+        total = last_arrival + n_transport * p.o_r
+    else:
+        for i in order:
+            recv_free = max(recv_free, arrivals[i]) + p.o_r
+        total = recv_free
+    return PLogGPResult(
+        total_bytes=total_bytes,
+        n_transport=n_transport,
+        completion_time=total,
+        arrivals=tuple(arrivals),
+        injections=tuple(injections),
+    )
+
+
+def optimal_transport_partitions(
+    params: ParamsLike,
+    total_bytes: int,
+    n_user: int,
+    delay: float,
+    max_transport: int = 32,
+    deferred_drain: bool = True,
+    pattern=None,
+) -> int:
+    """The power-of-two transport count minimizing modelled completion.
+
+    Mirrors the paper's optimizer (Section IV-C): iterate power-of-two
+    transport counts bounded by ``min(n_user, max_transport)`` under the
+    many-before-one arrival pattern with the given ``delay``, and never
+    exceed the user's requested partition count.
+
+    ``pattern`` overrides the arrival model: a callable
+    ``pattern(n_user, delay) -> ready times`` (the PLogGP paper [18]
+    analyses several; this paper focuses on many-before-one).
+    """
+    if not is_power_of_two(n_user):
+        raise ValueError(f"n_user must be a power of two, got {n_user}")
+    if max_transport < 1:
+        raise ValueError(f"max_transport must be >= 1, got {max_transport}")
+    if pattern is None:
+        user_ready = many_before_one(n_user, delay)
+    else:
+        user_ready = pattern(n_user, delay)
+        if len(user_ready) != n_user:
+            raise ValueError(
+                f"pattern produced {len(user_ready)} arrival times for "
+                f"{n_user} partitions")
+    best_p, best_t = 1, math.inf
+    for n_transport in powers_of_two(1, min(n_user, max_transport)):
+        t = completion_time(
+            params, total_bytes, n_transport, user_ready,
+            deferred_drain=deferred_drain,
+        ).completion_time
+        if t < best_t:
+            best_p, best_t = n_transport, t
+    return best_p
+
+
+def model_curve(
+    params: ParamsLike,
+    sizes: Sequence[int],
+    n_transport: int,
+    n_user: int,
+    delay: float,
+    deferred_drain: bool = True,
+) -> list[float]:
+    """Completion times across ``sizes`` for a fixed transport count.
+
+    Regenerates Fig. 3's per-partition-count curves.
+    """
+    user_ready = many_before_one(n_user, delay)
+    return [
+        completion_time(params, s, n_transport, user_ready,
+                        deferred_drain=deferred_drain).completion_time
+        for s in sizes
+    ]

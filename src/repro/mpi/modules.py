@@ -1,0 +1,72 @@
+"""Partitioned transport module interface.
+
+A *module* is the pluggable engine behind a matched Psend/Precv pair —
+the analogue of an Open MPI MCA component.  Two implementations exist:
+
+* :class:`repro.mpi.persist_module.PersistModule` — the baseline
+  ``part_persist`` behaviour: one internal point-to-point message per
+  user partition through the UCX-like stack;
+* :class:`repro.core.module.NativeVerbsModule` — the paper's
+  contribution: direct verbs with user-partition aggregation.
+
+One module *instance* serves one matched request pair and is shared by
+both processes (each side only touches its own half of the state).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.mpi.cluster import Cluster
+    from repro.mpi.process import MPIProcess
+    from repro.mpi.request import PrecvRequest, PsendRequest
+
+
+class ModuleSpec(abc.ABC):
+    """Factory passed to ``psend_init`` / ``precv_init``.
+
+    Both sides must pass specs with the same ``name``; the sender's spec
+    instantiates the module at match time.
+    """
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def create(self, cluster: "Cluster", send_req: "PsendRequest",
+               recv_req: "PrecvRequest"):
+        """Build the module instance for a matched pair."""
+
+
+class PartitionedModule(abc.ABC):
+    """Runtime engine for one matched partitioned request pair."""
+
+    def __init__(self, cluster: "Cluster", send_req: "PsendRequest",
+                 recv_req: "PrecvRequest"):
+        self.cluster = cluster
+        self.send_req = send_req
+        self.recv_req = recv_req
+        self.env = cluster.env
+
+    @abc.abstractmethod
+    def setup(self, send_req: "PsendRequest", recv_req: "PrecvRequest") -> None:
+        """Synchronous resource creation, run after the async init delay."""
+
+    @abc.abstractmethod
+    def start_send(self, req: "PsendRequest"):
+        """Re-arm sender state for a round; generator."""
+
+    @abc.abstractmethod
+    def start_recv(self, req: "PrecvRequest"):
+        """Re-arm receiver state for a round; generator."""
+
+    @abc.abstractmethod
+    def pready(self, req: "PsendRequest", partition: int):
+        """Handle ``MPI_Pready`` in the calling thread's context; generator."""
+
+    def handle_inbound(self, process: "MPIProcess", header, payload):
+        """Handle a module-specific p2p message (persist module only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not use the p2p path")
+        yield  # pragma: no cover - makes this a generator

@@ -1,0 +1,24 @@
+"""The MPI Partitioned profiler (paper Section V-A, footnote 1).
+
+A PMPI-style interposition layer: :class:`~repro.profiler.pmpi.PMPIProfiler`
+wraps a process's partitioned entry points and records when the program
+reaches ``MPI_Start`` and each ``MPI_Pready``.  The reports in
+:mod:`repro.profiler.report` turn those records into the paper's
+arrival-pattern visualizations (Figs. 10-11) and the minimum-δ
+estimates (Fig. 12).
+"""
+
+from repro.profiler.pmpi import PMPIProfiler, ProfiledRound
+from repro.profiler.report import (
+    ArrivalProfile,
+    arrival_profile,
+    early_bird_fraction,
+)
+
+__all__ = [
+    "PMPIProfiler",
+    "ProfiledRound",
+    "ArrivalProfile",
+    "arrival_profile",
+    "early_bird_fraction",
+]

@@ -1,0 +1,109 @@
+"""PMPI-style interposition on the partitioned entry points.
+
+Attaching a profiler to a process wraps ``start`` and ``pready`` the
+way a PMPI shim wraps ``MPI_Start``/``MPI_Pready``: the original call
+runs unchanged, and the profiler records the virtual timestamp of the
+program *reaching* the call — exactly the measurement methodology of
+Section V-C2 ("measure the time the program arrives at MPI_Start, and
+at each MPI_Pready call").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.mpi.process import MPIProcess
+    from repro.mpi.request import PartitionedRequest
+
+
+@dataclass
+class ProfiledRound:
+    """One Start..completion cycle of one request."""
+
+    request_id: int
+    round_index: int
+    t_start: float
+    #: partition -> time the program reached MPI_Pready for it.
+    pready: dict[int, float] = field(default_factory=dict)
+    t_complete: Optional[float] = None
+
+    def pready_times(self) -> list[float]:
+        """Per-partition call times, ordered by partition index."""
+        return [self.pready[i] for i in sorted(self.pready)]
+
+    def relative_pready_times(self) -> list[float]:
+        """Call times relative to this round's ``MPI_Start``."""
+        return [t - self.t_start for t in self.pready_times()]
+
+
+class PMPIProfiler:
+    """Wraps one process's partitioned calls and accumulates rounds."""
+
+    def __init__(self):
+        self.rounds: list[ProfiledRound] = []
+        self._open: dict[int, ProfiledRound] = {}
+        self._round_counter: dict[int, int] = {}
+        self._attached: list = []
+
+    def attach(self, process: "MPIProcess") -> None:
+        """Interpose on ``process`` (idempotent per process)."""
+        if process in self._attached:
+            return
+        self._attached.append(process)
+        orig_start = process.start
+        orig_pready = process.pready
+        orig_wait = process.wait_partitioned
+        profiler = self
+
+        def start(req):
+            profiler._record_start(process, req)
+            result = yield from orig_start(req)
+            return result
+
+        def pready(req, partition):
+            profiler._record_pready(process, req, partition)
+            result = yield from orig_pready(req, partition)
+            return result
+
+        def wait_partitioned(req):
+            result = yield from orig_wait(req)
+            profiler._record_complete(process, req)
+            return result
+
+        process.start = start
+        process.pready = pready
+        process.wait_partitioned = wait_partitioned
+
+    def _record_start(self, process, req) -> None:
+        index = self._round_counter.get(req.request_id, 0)
+        self._round_counter[req.request_id] = index + 1
+        record = ProfiledRound(
+            request_id=req.request_id,
+            round_index=index,
+            t_start=process.env.now,
+        )
+        self._open[req.request_id] = record
+        self.rounds.append(record)
+
+    def _record_pready(self, process, req, partition) -> None:
+        record = self._open.get(req.request_id)
+        if record is not None:
+            record.pready[partition] = process.env.now
+
+    def _record_complete(self, process, req) -> None:
+        record = self._open.get(req.request_id)
+        if record is not None and record.t_complete is None:
+            record.t_complete = process.env.now
+
+    # -- accessors -----------------------------------------------------------
+
+    def completed_rounds(self, skip: int = 0) -> list[ProfiledRound]:
+        """Rounds with full pready data, skipping ``skip`` warm-ups."""
+        full = [r for r in self.rounds if r.pready and r.t_complete is not None]
+        return full[skip:]
+
+    def arrival_rounds(self, skip: int = 0) -> list[list[float]]:
+        """Per-round relative pready times (min-δ estimation input)."""
+        return [r.relative_pready_times() for r in self.completed_rounds(skip)]

@@ -1,0 +1,20 @@
+"""Simulated application runtime: worker threads and noise models."""
+
+from repro.runtime.noise import (
+    NoiseModel,
+    NoNoise,
+    SingleThreadDelay,
+    GaussianNoise,
+    UniformNoise,
+)
+from repro.runtime.threadmodel import WorkerTeam, ComputePhase
+
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "SingleThreadDelay",
+    "GaussianNoise",
+    "UniformNoise",
+    "WorkerTeam",
+    "ComputePhase",
+]

@@ -1,0 +1,261 @@
+"""Environment and basic event types for the DES kernel.
+
+The scheduling queue is a binary heap keyed on ``(time, priority, seq)``.
+``seq`` is a monotonically increasing insertion counter, which makes
+same-time, same-priority events FIFO and the whole simulation
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimTimeError, SimulationError
+
+#: Priority for events that must fire before ordinary ones at the same time
+#: (used internally for process initialization and interrupts).
+PRIORITY_URGENT: int = 0
+#: Default priority for ordinary events.
+PRIORITY_NORMAL: int = 1
+
+_PENDING = object()  # sentinel: event value not yet set
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event moves through three states:
+
+    * *pending* — created, not yet scheduled;
+    * *triggered* — given a value (or failure) and placed on the queue;
+    * *processed* — callbacks have run.
+
+    Processes wait on events by ``yield``-ing them; arbitrary code can
+    attach callbacks via :attr:`callbacks`.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: list of callables invoked with this event when it is processed;
+        #: ``None`` once processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run.
+
+        An event that fails with no waiting process would otherwise abort
+        :meth:`Environment.run` to avoid silently swallowing errors.
+        """
+        self._defused = True
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value`` at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self._processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay.
+
+    Timeouts are triggered at construction; yielding one suspends the
+    process for ``delay`` units of virtual time.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimTimeError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, PRIORITY_NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Environment:
+    """Execution environment: virtual clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: The process currently being resumed, if any.
+        self.active_process = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a new simulated process running ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> "Event":
+        """Event that fires when every event in ``events`` has fired."""
+        from repro.sim.events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> "Event":
+        """Event that fires when at least one event in ``events`` has fired."""
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimTimeError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimTimeError(f"event scheduled in the past: {when} < {self._now}")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it rather than losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or event fires.
+
+        Returns the value of ``until`` when it is an event; otherwise
+        ``None``.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            done = []
+
+            def _stop(ev: Event) -> None:
+                done.append(ev)
+
+            if sentinel.processed:
+                return sentinel.value
+            if sentinel.callbacks is None:
+                return sentinel.value
+            sentinel.callbacks.append(_stop)
+            while not done:
+                if not self._queue:
+                    raise SimulationError(
+                        "run(until=event): queue drained before event fired"
+                    )
+                self.step()
+            if sentinel._ok:
+                return sentinel.value
+            sentinel.defuse()
+            raise sentinel.value
+        # numeric deadline
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimTimeError(f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,66 @@
+"""Composite events: wait for all / any of a set of events."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.sim.core import Environment, Event
+
+
+class Condition(Event):
+    """Fires when ``evaluate(events, fired_count)`` becomes true.
+
+    The value of a condition is a dict mapping each *fired* constituent
+    event to its value, in firing order.  If any constituent fails, the
+    condition fails with that exception.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        evaluate: Callable[[Sequence[Event], int], bool],
+        events: Sequence[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._fired: dict[Event, object] = {}
+        for ev in self._events:
+            if ev.env is not env:
+                raise ValueError("all events must share one environment")
+        if not self._events and evaluate(self._events, 0):
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                # Already processed — account for it immediately.
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._fired[event] = event._value
+        if self._evaluate(self._events, len(self._fired)):
+            self.succeed(dict(self._fired))
+
+
+class AllOf(Condition):
+    """Fires when every constituent event has fired successfully."""
+
+    def __init__(self, env: Environment, events: Sequence[Event]):
+        super().__init__(env, lambda evs, n: n == len(evs), events)
+
+
+class AnyOf(Condition):
+    """Fires when at least one constituent event has fired successfully."""
+
+    def __init__(self, env: Environment, events: Sequence[Event]):
+        if not events:
+            raise ValueError("AnyOf needs at least one event")
+        super().__init__(env, lambda evs, n: n >= 1, events)

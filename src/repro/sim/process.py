@@ -1,0 +1,119 @@
+"""Simulated processes: generators driven by the event loop."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import Interrupt, ProcessError
+from repro.sim.core import Environment, Event, PRIORITY_URGENT
+
+
+class Process(Event):
+    """A running simulated activity.
+
+    Wraps a generator.  Each value the generator yields must be an
+    :class:`Event`; the process sleeps until that event fires, then
+    resumes with the event's value (or has the event's exception thrown
+    into it).  A :class:`Process` is itself an event that fires when the
+    generator returns (value = return value) or raises (failure).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: Environment, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise ProcessError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None if ready).
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current time, ahead of normal events.
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        env._schedule(bootstrap, PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        The process stops waiting on its current target and must handle
+        (or propagate) the interrupt.  Interrupting a finished process is
+        an error; interrupting a process that is itself waiting on another
+        process is allowed.
+        """
+        if not self.is_alive:
+            raise ProcessError(f"cannot interrupt finished process {self.name!r}")
+        if self.env.active_process is self:
+            raise ProcessError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, PRIORITY_URGENT)
+
+    # -- internal -------------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        # Stale wakeup: an interrupt arrived while we waited on some target;
+        # unhook from that target so its eventual firing does not resume us
+        # twice.
+        if self._target is not None and event is not self._target:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        self.env.active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                # Mark handled: the generator is being given the exception.
+                event._defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env.active_process = None
+            self.succeed(stop.value, priority=PRIORITY_URGENT)
+            return
+        except BaseException as exc:
+            self.env.active_process = None
+            self.fail(exc, priority=PRIORITY_URGENT)
+            return
+        self.env.active_process = None
+        if not isinstance(result, Event):
+            error = ProcessError(
+                f"process {self.name!r} yielded non-event {result!r}"
+            )
+            try:
+                self._generator.throw(error)
+            except BaseException as exc:
+                self.fail(exc, priority=PRIORITY_URGENT)
+                return
+            raise error
+        if result.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            wake = Event(self.env)
+            wake._ok = result._ok
+            wake._value = result._value
+            if not result._ok:
+                wake._defused = True
+            self._target = wake
+            wake.callbacks.append(self._resume)
+            self.env._schedule(wake, PRIORITY_URGENT)
+        else:
+            self._target = result
+            result.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

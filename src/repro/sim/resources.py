@@ -1,0 +1,184 @@
+"""Shared-resource primitives: counted resources and object stores.
+
+These model contention points in the simulated system: NIC processing
+engines, the serializing wire, and bounded queues all sit on top of
+:class:`Resource` or :class:`Store`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Fires when the slot is granted.  Must be released via
+    :meth:`Resource.release` (or used as a context manager inside a
+    process via ``with``-style helpers in caller code).
+    """
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue.
+
+    >>> res = Resource(env, capacity=1)
+    >>> def worker(env, res):
+    ...     req = res.request()
+    ...     yield req
+    ...     yield env.timeout(1.0)     # hold the resource
+    ...     res.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self, priority)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def _enqueue(self, req: Request) -> None:
+        self._waiting.append(req)
+
+    def _dequeue(self) -> Optional[Request]:
+        return self._waiting.popleft() if self._waiting else None
+
+    def release(self, req: Request) -> None:
+        """Return a previously granted slot and wake the next waiter."""
+        if req in self._users:
+            self._users.remove(req)
+        elif req in self._waiting:
+            # Cancelling a queued request.
+            self._waiting.remove(req)
+            return
+        else:
+            raise SimulationError("release() of a request that holds no slot")
+        nxt = self._dequeue()
+        if nxt is not None:
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiters are served lowest-priority-first.
+
+    Ties are FIFO (stable by insertion sequence).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._counter = 0
+        self._heap: list[tuple[int, int, Request]] = []
+
+    def _enqueue(self, req: Request) -> None:
+        import heapq
+
+        heapq.heappush(self._heap, (req.priority, self._counter, req))
+        self._counter += 1
+
+    def _dequeue(self) -> Optional[Request]:
+        import heapq
+
+        while self._heap:
+            _, _, req = heapq.heappop(self._heap)
+            return req
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    def release(self, req: Request) -> None:
+        if req in self._users:
+            self._users.remove(req)
+        else:
+            # Cancel from heap lazily.
+            self._heap = [entry for entry in self._heap if entry[2] is not req]
+            import heapq
+
+            heapq.heapify(self._heap)
+            return
+        nxt = self._dequeue()
+        if nxt is not None:
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """An unbounded (or bounded) FIFO of Python objects.
+
+    ``put`` fires immediately unless the store is full; ``get`` fires when
+    an item is available.  Used for message queues between simulated
+    components.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; returned event fires once it is stored."""
+        ev = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Withdraw the oldest item; returned event fires with the item."""
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            if self._putters:
+                putter, item = self._putters.popleft()
+                self.items.append(item)
+                putter.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev

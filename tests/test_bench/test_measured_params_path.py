@@ -1,0 +1,54 @@
+"""End-to-end: Netgauge-measured parameters drive the live aggregator.
+
+The paper's full loop — measure LogGP on the platform, hand the table
+to the PLogGP aggregator, run — executed entirely in-repo.
+"""
+
+import pytest
+
+from repro.bench.overhead import run_overhead
+from repro.config import NIAGARA
+from repro.core import PLogGPAggregator
+from repro.model.netgauge import measure_loggp
+from repro.units import KiB, MiB, ms
+
+
+@pytest.fixture(scope="module")
+def measured_table():
+    return measure_loggp(sizes=[4 * KiB, 64 * KiB, 1 * MiB],
+                         rounds=4, burst=6)
+
+
+def test_measured_table_drives_aggregator(measured_table):
+    agg = PLogGPAggregator(measured_table, delay=ms(4))
+    plan = agg.plan(16, 64 * KiB, NIAGARA)
+    assert 1 <= plan.n_transport <= 16
+    assert plan.n_qps >= 1
+
+
+def test_measured_aggregator_runs_and_wins_at_medium(measured_table):
+    """Whatever the measured table picks, the native module still beats
+    the per-message baseline at a medium size."""
+    agg = PLogGPAggregator(measured_table, delay=ms(4))
+    base = run_overhead(None, n_user=16, total_bytes=256 * KiB,
+                        iterations=6, warmup=2)
+    ours = run_overhead(agg, n_user=16, total_bytes=256 * KiB,
+                        iterations=6, warmup=2)
+    assert base.mean_time / ours.mean_time > 1.1
+
+
+def test_measured_vs_calibrated_plans_comparable(measured_table):
+    """Measured-table plans stay within the same order of magnitude as
+    the calibrated-parameter plans (the paper's model/measurement
+    discrepancies, bounded)."""
+    from repro.model.tables import NIAGARA_LOGGP
+
+    measured = PLogGPAggregator(measured_table, delay=ms(4))
+    calibrated = PLogGPAggregator(NIAGARA_LOGGP, delay=ms(4))
+    for size in (64 * KiB, 1 * MiB):
+        p_measured = measured.plan(32, size // 32, NIAGARA).n_transport
+        p_calibrated = calibrated.plan(32, size // 32, NIAGARA).n_transport
+        assert p_measured <= 32 and p_calibrated <= 32
+        ratio = max(p_measured, p_calibrated) / max(
+            1, min(p_measured, p_calibrated))
+        assert ratio <= 32  # same order, never absurd

@@ -1,0 +1,95 @@
+"""Tests for the pair benchmark harness."""
+
+import pytest
+
+from repro.bench import run_partitioned_pair
+from repro.core import FixedAggregation, NativeSpec
+from repro.mpi.persist_module import PersistSpec
+from repro.runtime import SingleThreadDelay
+from repro.units import KiB, MiB
+
+
+def test_iteration_count_and_warmup():
+    res = run_partitioned_pair(PersistSpec, n_user=4, partition_size=1 * KiB,
+                               iterations=5, warmup=2)
+    assert len(res.iterations) == 5
+
+
+def test_elapsed_positive_and_ordered():
+    res = run_partitioned_pair(PersistSpec, n_user=4, partition_size=1 * KiB,
+                               iterations=3, warmup=1)
+    for it in res.iterations:
+        assert it.elapsed > 0
+        assert it.t_recv_done >= it.t0
+        assert it.laggard_pready >= it.t0
+
+
+def test_backed_run_verifies_data():
+    res = run_partitioned_pair(
+        lambda: NativeSpec(FixedAggregation(2, 1)),
+        n_user=4, partition_size=1 * KiB,
+        iterations=2, warmup=1, backed=True)
+    assert res.total_bytes == 4 * KiB
+
+
+def test_compute_reflected_in_elapsed():
+    compute = 2e-3
+    res = run_partitioned_pair(PersistSpec, n_user=4, partition_size=1 * KiB,
+                               compute=compute, iterations=2, warmup=1)
+    assert all(it.elapsed >= compute for it in res.iterations)
+    assert res.mean_comm_time < res.mean_time
+
+
+def test_noise_delays_laggard():
+    compute = 1e-3
+    res = run_partitioned_pair(
+        PersistSpec, n_user=8, partition_size=1 * KiB,
+        compute=compute, noise=SingleThreadDelay(0.5),
+        iterations=3, warmup=1)
+    for it in res.iterations:
+        pready = sorted(it.pready_times)
+        # laggard 50% later than the rest
+        assert pready[-1] - pready[0] >= 0.4 * compute
+
+
+def test_perceived_bandwidth_metric():
+    res = run_partitioned_pair(
+        PersistSpec, n_user=8, partition_size=1 * MiB,
+        compute=10e-3, noise=SingleThreadDelay(0.04),
+        iterations=2, warmup=1)
+    assert res.mean_perceived_bandwidth > 0
+
+
+def test_wrs_posted_tracked_for_native():
+    res = run_partitioned_pair(
+        lambda: NativeSpec(FixedAggregation(2, 1)),
+        n_user=4, partition_size=1 * KiB, iterations=3, warmup=1)
+    # 4 rounds total (3 + 1 warmup), 2 WRs each
+    assert res.wrs_posted == 8
+    assert res.timer_flushes == 0
+
+
+def test_invalid_workload_rejected():
+    from repro.bench.overhead import run_overhead
+
+    with pytest.raises(ValueError):
+        run_overhead(None, n_user=32, total_bytes=100)  # not divisible
+
+
+def test_identical_seeds_identical_results():
+    kwargs = dict(n_user=4, partition_size=4 * KiB, compute=1e-3,
+                  noise=SingleThreadDelay(0.04), iterations=3, warmup=1)
+    r1 = run_partitioned_pair(PersistSpec, seed=5, **kwargs)
+    r2 = run_partitioned_pair(PersistSpec, seed=5, **kwargs)
+    assert r1.mean_time == r2.mean_time
+
+
+def test_different_seeds_differ():
+    kwargs = dict(n_user=8, partition_size=4 * KiB, compute=1e-3,
+                  noise=SingleThreadDelay(0.5), iterations=3, warmup=1)
+    r1 = run_partitioned_pair(PersistSpec, seed=5, **kwargs)
+    r2 = run_partitioned_pair(PersistSpec, seed=6, **kwargs)
+    # Noise victims rotate differently; laggard preadys differ.
+    v1 = [it.pready_times.index(max(it.pready_times)) for it in r1.iterations]
+    v2 = [it.pready_times.index(max(it.pready_times)) for it in r2.iterations]
+    assert v1 != v2 or r1.mean_time != r2.mean_time

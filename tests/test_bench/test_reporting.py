@@ -1,0 +1,47 @@
+"""Tests for table formatting."""
+
+from repro.bench.reporting import (
+    format_bandwidth_series,
+    format_delta_table,
+    format_speedup_series,
+    format_table,
+)
+from repro.units import KiB, MiB
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, 2 rows
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_speedup_series_layout():
+    series = {
+        "ploggp": {4 * KiB: 1.5, 1 * MiB: 1.02},
+        "timer": {4 * KiB: 1.6},
+    }
+    out = format_speedup_series(series)
+    assert "4KiB" in out
+    assert "1MiB" in out
+    assert "1.50x" in out
+    assert "1.60x" in out
+    assert "-" in out  # missing timer value at 1MiB
+
+
+def test_bandwidth_series_with_reference():
+    series = {"persist": {1 * MiB: 100 * 2**30}}
+    out = format_bandwidth_series(series, reference=11.6 * 2**30)
+    assert "100GiB/s" in out
+    assert "11.6GiB/s" in out
+    assert "1-thread line" in out
+
+
+def test_delta_table_layout():
+    table = {(1 * MiB, 8): 5e-6, (1 * MiB, 32): 35e-6, (8 * MiB, 32): 40e-6}
+    out = format_delta_table(table)
+    assert "8 parts" in out
+    assert "32 parts" in out
+    assert "35us" in out
+    assert "-" in out  # (8MiB, 8) missing

@@ -1,0 +1,89 @@
+"""Tests for the Sweep3D benchmark (Fig. 14 shapes).
+
+Grid sizes here are reduced (4x4) to keep the suite fast; the
+benchmark scripts run the paper's full 8x8 x 16 threads = 1024 cores.
+"""
+
+import pytest
+
+from repro.bench import run_sweep
+from repro.core import PLogGPAggregator, TimerPLogGPAggregator
+from repro.model.tables import NIAGARA_LOGGP
+from repro.units import KiB, MiB, ms, us
+
+GRID = (4, 4)
+FAST = dict(grid=GRID, iterations=3, warmup=1)
+
+
+def ploggp():
+    return PLogGPAggregator(NIAGARA_LOGGP, delay=ms(4))
+
+
+def timer():
+    return TimerPLogGPAggregator(NIAGARA_LOGGP, delay=ms(4), delta=us(8))
+
+
+def test_wavefront_critical_path():
+    """Total time must cover (px + py - 1) compute stages."""
+    res = run_sweep(None, total_bytes=64 * KiB, compute=1e-3,
+                    noise_fraction=0.0, **FAST)
+    assert res.critical_path_compute == pytest.approx(7e-3)
+    assert all(t > res.critical_path_compute for t in res.times)
+    assert res.mean_comm_time > 0
+
+
+def test_medium_size_speedup_low_noise():
+    """Fig. 14a: clear aggregation win for medium messages, ~10us noise."""
+    base = run_sweep(None, total_bytes=256 * KiB, compute=1e-3,
+                     noise_fraction=0.01, **FAST)
+    agg = run_sweep(ploggp(), total_bytes=256 * KiB, compute=1e-3,
+                    noise_fraction=0.01, **FAST)
+    assert base.mean_comm_time / agg.mean_comm_time > 1.3
+
+
+def test_large_size_no_speedup():
+    """Fig. 14: very large messages gain nothing (wire-bound)."""
+    base = run_sweep(None, total_bytes=16 * MiB, compute=1e-3,
+                     noise_fraction=0.01, **FAST)
+    agg = run_sweep(ploggp(), total_bytes=16 * MiB, compute=1e-3,
+                    noise_fraction=0.01, **FAST)
+    speedup = base.mean_comm_time / agg.mean_comm_time
+    assert 0.9 < speedup < 1.15
+
+
+def test_timer_beats_ploggp_under_heavier_noise():
+    """Fig. 14b: with a 40us laggard the static PLogGP grouping stalls
+    on the laggard while the timer flushes early arrivals."""
+    kwargs = dict(total_bytes=256 * KiB, compute=1e-3, noise_fraction=0.04,
+                  **FAST)
+    base = run_sweep(None, **kwargs)
+    agg = run_sweep(ploggp(), **kwargs)
+    tmr = run_sweep(timer(), **kwargs)
+    s_agg = base.mean_comm_time / agg.mean_comm_time
+    s_tmr = base.mean_comm_time / tmr.mean_comm_time
+    assert s_tmr > s_agg
+    assert s_tmr > 1.2
+
+
+def test_speedup_shrinks_with_noise():
+    """Fig. 14c: a 400us laggard dominates communication; speedup ~1."""
+    base = run_sweep(None, total_bytes=1 * MiB, compute=10e-3,
+                     noise_fraction=0.04, **FAST)
+    tmr = run_sweep(timer(), total_bytes=1 * MiB, compute=10e-3,
+                    noise_fraction=0.04, **FAST)
+    speedup = base.mean_comm_time / tmr.mean_comm_time
+    assert 0.85 < speedup < 1.2
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        run_sweep(None, grid=(0, 4), total_bytes=64 * KiB)
+    with pytest.raises(ValueError):
+        run_sweep(None, grid=(2, 2), total_bytes=100, n_threads=16)
+
+
+def test_single_row_grid():
+    res = run_sweep(None, grid=(1, 3), total_bytes=64 * KiB, compute=1e-3,
+                    noise_fraction=0.0, iterations=2, warmup=1)
+    assert res.critical_path_compute == pytest.approx(3e-3)
+    assert res.mean_comm_time > 0

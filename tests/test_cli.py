@@ -1,0 +1,81 @@
+"""Tests for the repro-bench CLI."""
+
+import pytest
+
+from repro.cli import main, parse_grid, parse_size, parse_sizes
+from repro.units import KiB, MiB, GiB
+
+
+def test_parse_size_suffixes():
+    assert parse_size("64KiB") == 64 * KiB
+    assert parse_size("2MiB") == 2 * MiB
+    assert parse_size("1GiB") == GiB
+    assert parse_size("512B") == 512
+    assert parse_size("4096") == 4096
+    assert parse_size("1.5KiB") == 1536
+
+
+def test_parse_sizes_list():
+    assert parse_sizes("1KiB, 2KiB,4KiB") == [1024, 2048, 4096]
+
+
+def test_parse_grid():
+    assert parse_grid("4x8") == (4, 8)
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "128MiB" in out
+    assert "MISMATCH" not in out
+
+
+def test_model_command(capsys):
+    assert main(["model", "--sizes", "16KiB,64MiB"]) == 0
+    out = capsys.readouterr().out
+    assert "16KiB" in out
+    assert "32p" in out
+
+
+def test_overhead_command(capsys):
+    assert main(["overhead", "--n-user", "8", "--sizes", "64KiB",
+                 "--iterations", "4", "--warmup", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "64KiB" in out
+    assert "x" in out
+
+
+def test_perceived_command(capsys):
+    assert main(["perceived", "--n-user", "8", "--sizes", "4MiB",
+                 "--compute-ms", "5", "--iterations", "2",
+                 "--warmup", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "persist" in out
+    assert "1-thread line" in out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--grid", "2x2", "--threads", "4",
+                 "--sizes", "64KiB", "--iterations", "2",
+                 "--warmup", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "16 cores" in out
+
+
+def test_netgauge_command(capsys):
+    assert main(["netgauge", "--sizes", "4KiB", "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "o_r" in out
+    assert "GiB/s" in out
+
+
+def test_tuning_table_command(capsys):
+    assert main(["tuning-table", "--n-user", "4", "--sizes", "64KiB",
+                 "--iterations", "2", "--warmup", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "transport partitions" in out
+
+
+def test_unknown_aggregator_rejected():
+    with pytest.raises(SystemExit):
+        main(["overhead", "--aggregator", "bogus"])

@@ -1,0 +1,75 @@
+"""Tests for REPRO_* environment-variable tuning."""
+
+import pytest
+
+from repro.config import NIAGARA, config_from_env
+from repro.errors import ConfigError
+from repro.units import us
+
+
+def test_no_env_returns_base():
+    config = config_from_env(environ={})
+    assert config == NIAGARA
+
+
+def test_timer_delta_override():
+    config = config_from_env(environ={"REPRO_TIMER_DELTA_US": "50"})
+    assert config.part.timer_delta == pytest.approx(us(50))
+    # Everything else untouched.
+    assert config.nic == NIAGARA.nic
+
+
+def test_line_rate_override_keeps_qp_ratio():
+    config = config_from_env(environ={"REPRO_LINE_RATE_GIBPS": "25"})
+    assert config.nic.line_rate == pytest.approx(25 * 1024**3)
+    ratio = config.nic.qp_rate / config.nic.line_rate
+    base_ratio = NIAGARA.nic.qp_rate / NIAGARA.nic.line_rate
+    assert ratio == pytest.approx(base_ratio)
+
+
+def test_qp_fraction_override():
+    config = config_from_env(environ={"REPRO_QP_RATE_FRACTION": "0.5"})
+    assert config.nic.qp_rate == pytest.approx(0.5 * NIAGARA.nic.line_rate)
+
+
+def test_combined_line_rate_and_fraction():
+    config = config_from_env(environ={
+        "REPRO_LINE_RATE_GIBPS": "20",
+        "REPRO_QP_RATE_FRACTION": "0.9",
+    })
+    assert config.nic.qp_rate == pytest.approx(0.9 * 20 * 1024**3)
+
+
+def test_seed_and_trace():
+    config = config_from_env(environ={"REPRO_SEED": "42",
+                                      "REPRO_TRACE": "true"})
+    assert config.seed == 42
+    assert config.trace_enabled
+
+
+def test_multiple_sections():
+    config = config_from_env(environ={
+        "REPRO_MTU": "2048",
+        "REPRO_LINK_LATENCY_US": "1.5",
+        "REPRO_CORES_PER_NODE": "64",
+        "REPRO_DEFAULT_QPS": "4",
+    })
+    assert config.nic.mtu == 2048
+    assert config.link.latency == pytest.approx(1.5e-6)
+    assert config.host.cores_per_node == 64
+    assert config.part.default_qps == 4
+
+
+def test_malformed_value_raises():
+    with pytest.raises(ConfigError):
+        config_from_env(environ={"REPRO_MTU": "not-a-number"})
+
+
+def test_invalid_resulting_config_rejected():
+    with pytest.raises(ConfigError):
+        config_from_env(environ={"REPRO_MTU": "64"})  # below minimum
+
+
+def test_unknown_repro_vars_ignored():
+    config = config_from_env(environ={"REPRO_BOGUS": "1"})
+    assert config == NIAGARA

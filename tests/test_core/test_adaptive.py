@@ -1,0 +1,116 @@
+"""Tests for the adaptive-δ extension (paper future work, Section IV-D)."""
+
+import pytest
+
+from repro.config import NIAGARA
+from repro.core import (
+    AdaptiveDelta,
+    AdaptiveTimerAggregator,
+    AggregationPlan,
+    NativeSpec,
+)
+from repro.errors import ConfigError
+from repro.mem import PartitionedBuffer
+from repro.model.tables import NIAGARA_LOGGP
+from repro.mpi import Cluster
+from repro.runtime import ComputePhase, SingleThreadDelay, WorkerTeam
+from repro.units import KiB, ms, us
+
+
+def test_update_moves_toward_target():
+    tuner = AdaptiveDelta(alpha=0.5, margin=1.0, min_delta=1e-6,
+                          max_delta=1e-3)
+    # current 100us, observed spread 20us -> midpoint 60us
+    assert tuner.update(100e-6, 20e-6) == pytest.approx(60e-6)
+
+
+def test_update_clamps():
+    tuner = AdaptiveDelta(alpha=1.0, margin=1.0, min_delta=10e-6,
+                          max_delta=50e-6)
+    assert tuner.update(30e-6, 0.0) == pytest.approx(10e-6)
+    assert tuner.update(30e-6, 1.0) == pytest.approx(50e-6)
+
+
+def test_adaptive_validation():
+    with pytest.raises(ConfigError):
+        AdaptiveDelta(alpha=0.0)
+    with pytest.raises(ConfigError):
+        AdaptiveDelta(margin=-1)
+    with pytest.raises(ConfigError):
+        AdaptiveDelta(min_delta=2e-3, max_delta=1e-3)
+
+
+def test_plan_requires_timer_seed():
+    with pytest.raises(ConfigError):
+        AggregationPlan(n_transport=2, n_qps=1, adaptive=AdaptiveDelta())
+
+
+def test_aggregator_plan_carries_tuner():
+    agg = AdaptiveTimerAggregator(NIAGARA_LOGGP, delay=ms(4),
+                                  initial_delta=us(100))
+    plan = agg.plan(32, 256 * KiB, NIAGARA)
+    assert plan.timer_delta == pytest.approx(us(100))
+    assert plan.adaptive is not None
+    assert "adaptive" in agg.describe()
+
+
+def run_rounds(aggregator, rounds=6, n_parts=16, compute=ms(2)):
+    cluster = Cluster(n_nodes=2)
+    s_proc, r_proc = cluster.ranks(2)
+    sbuf = PartitionedBuffer(n_parts, 64 * KiB, backed=False)
+    rbuf = PartitionedBuffer(n_parts, 64 * KiB, backed=False)
+    holder = {}
+
+    def sender(proc):
+        req = proc.psend_init(sbuf, dest=1, tag=0,
+                              module=NativeSpec(aggregator))
+        team = WorkerTeam(proc.env, n_parts,
+                          cluster.rngs.stream("noise"), cores=40)
+        phase = ComputePhase(compute=compute, noise=SingleThreadDelay(0.04))
+        for _ in range(rounds):
+            yield from proc.start(req)
+            yield team.run_round(phase, lambda tid: proc.pready(req, tid))
+            yield from proc.wait_partitioned(req)
+        holder["module"] = req.module
+
+    def receiver(proc):
+        req = proc.precv_init(rbuf, source=0, tag=0,
+                              module=NativeSpec(aggregator))
+        for _ in range(rounds):
+            yield from proc.start(req)
+            yield from proc.wait_partitioned(req)
+
+    cluster.spawn(sender(s_proc))
+    cluster.spawn(receiver(r_proc))
+    cluster.run()
+    return holder["module"]
+
+
+def test_delta_converges_toward_observed_spread():
+    """Starting from a far-too-large delta, the tuner shrinks it to the
+    scale of the actual non-laggard jitter (sub-10us at 2ms compute)."""
+    agg = AdaptiveTimerAggregator(
+        NIAGARA_LOGGP, delay=ms(4), initial_delta=us(500),
+        adaptive=AdaptiveDelta(alpha=0.5, margin=1.25,
+                               min_delta=us(0.5), max_delta=us(500)))
+    module = run_rounds(agg)
+    history = module.delta_history
+    assert history[0] == pytest.approx(us(500))
+    assert history[-1] < history[0] / 5
+    # Monotone-ish decay toward the spread.
+    assert history[-1] < us(50)
+
+
+def test_delta_history_one_entry_per_round():
+    agg = AdaptiveTimerAggregator(NIAGARA_LOGGP, delay=ms(4),
+                                  initial_delta=us(100))
+    module = run_rounds(agg, rounds=4)
+    assert len(module.delta_history) == 4
+
+
+def test_fixed_timer_keeps_delta_constant():
+    from repro.core import TimerPLogGPAggregator
+
+    agg = TimerPLogGPAggregator(NIAGARA_LOGGP, delay=ms(4), delta=us(100))
+    module = run_rounds(agg, rounds=4)
+    assert module.delta_history == [pytest.approx(us(100))] * 4

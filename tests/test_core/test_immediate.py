@@ -1,0 +1,64 @@
+"""Tests for the be32 immediate encoding (Section IV-A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import decode_immediate, encode_immediate
+from repro.errors import PartitionError
+
+
+def test_simple_roundtrip():
+    imm = encode_immediate(3, 5)
+    assert decode_immediate(imm) == (3, 5)
+
+
+def test_encoding_layout():
+    # start in the high 16 bits, count in the low 16.
+    assert encode_immediate(1, 2) == (1 << 16) | 2
+
+
+def test_extremes():
+    assert decode_immediate(encode_immediate(0, 1)) == (0, 1)
+    assert decode_immediate(encode_immediate(65535, 65535)) == (65535, 65535)
+
+
+def test_fits_be32():
+    assert 0 <= encode_immediate(65535, 65535) < 2**32
+
+
+def test_start_out_of_range():
+    with pytest.raises(PartitionError):
+        encode_immediate(65536, 1)
+    with pytest.raises(PartitionError):
+        encode_immediate(-1, 1)
+
+
+def test_count_out_of_range():
+    with pytest.raises(PartitionError):
+        encode_immediate(0, 0)
+    with pytest.raises(PartitionError):
+        encode_immediate(0, 65536)
+
+
+def test_decode_zero_count_rejected():
+    with pytest.raises(PartitionError):
+        decode_immediate(5 << 16)
+
+
+def test_decode_out_of_range():
+    with pytest.raises(PartitionError):
+        decode_immediate(2**32)
+    with pytest.raises(PartitionError):
+        decode_immediate(-1)
+
+
+@given(start=st.integers(0, 65535), count=st.integers(1, 65535))
+def test_roundtrip_property(start, count):
+    assert decode_immediate(encode_immediate(start, count)) == (start, count)
+
+
+@given(start=st.integers(0, 65535), count=st.integers(1, 65535))
+def test_encoding_is_injective(start, count):
+    imm = encode_immediate(start, count)
+    other = encode_immediate((start + 1) % 65536, count)
+    assert imm != other

@@ -1,0 +1,44 @@
+"""Shared fixtures: a two-node fabric with connected QPs."""
+
+import pytest
+
+from repro.config import NIAGARA
+from repro.ib import verbs
+from repro.ib.constants import ACCESS_LOCAL, ACCESS_REMOTE_WRITE
+from repro.ib.fabric import Fabric
+from repro.mem import Buffer
+from repro.sim import Environment
+
+
+class Pair:
+    """Two connected endpoints with registered send/recv buffers."""
+
+    def __init__(self, env, config=NIAGARA, bufsize=4096, backed=True):
+        self.env = env
+        self.fabric = Fabric(env, config)
+        self.fabric.add_node(0)
+        self.fabric.add_node(1)
+        self.ctx0 = verbs.ibv_open_device(self.fabric, 0)
+        self.ctx1 = verbs.ibv_open_device(self.fabric, 1)
+        self.pd0 = verbs.ibv_alloc_pd(self.ctx0)
+        self.pd1 = verbs.ibv_alloc_pd(self.ctx1)
+        self.cq0 = verbs.ibv_create_cq(self.ctx0)
+        self.cq1 = verbs.ibv_create_cq(self.ctx1)
+        self.qp0 = verbs.ibv_create_qp(self.ctx0, self.pd0, self.cq0, self.cq0)
+        self.qp1 = verbs.ibv_create_qp(self.ctx1, self.pd1, self.cq1, self.cq1)
+        verbs.connect_qps(self.qp0, self.qp1)
+        self.send_buf = Buffer(bufsize, backed=backed)
+        self.recv_buf = Buffer(bufsize, backed=backed)
+        self.send_mr = verbs.ibv_reg_mr(self.pd0, self.send_buf, ACCESS_LOCAL)
+        self.recv_mr = verbs.ibv_reg_mr(
+            self.pd1, self.recv_buf, ACCESS_LOCAL | ACCESS_REMOTE_WRITE)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pair(env):
+    return Pair(env)

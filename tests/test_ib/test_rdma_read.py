@@ -1,0 +1,151 @@
+"""Tests for first-class RDMA READ (the rendezvous-get substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.config import NIAGARA
+from repro.errors import ProtectionError, QPOverflowError
+from repro.ib import verbs
+from repro.ib.constants import (
+    ACCESS_LOCAL,
+    ACCESS_REMOTE_READ,
+    Opcode,
+    WCOpcode,
+    WCStatus,
+)
+from repro.ib.wr import SGE, SendWR
+from repro.mem import Buffer
+from repro.sim import Environment
+from repro.units import KiB, MiB
+from tests.test_ib.conftest import Pair
+
+
+def make_read_pair(env, nbytes, backed=True):
+    """Node 1 reads from node 0: requester QP on node 1."""
+    pair = Pair(env, bufsize=max(nbytes, 4096), backed=backed)
+    src_buf = Buffer(nbytes, backed=backed)
+    dst_buf = Buffer(nbytes, backed=backed)
+    if backed:
+        src_buf.fill_pattern(seed=13)
+    src_mr = verbs.ibv_reg_mr(pair.pd0, src_buf,
+                              ACCESS_LOCAL | ACCESS_REMOTE_READ)
+    dst_mr = verbs.ibv_reg_mr(pair.pd1, dst_buf, ACCESS_LOCAL)
+    return pair, src_buf, dst_buf, src_mr, dst_mr
+
+
+def post_read(pair, src_mr, dst_mr, nbytes, wr_id=1):
+    pair.qp1.post_send(SendWR(
+        wr_id=wr_id,
+        opcode=Opcode.RDMA_READ,
+        sg_list=[SGE(dst_mr.addr, nbytes, dst_mr.lkey)],
+        remote_addr=src_mr.addr,
+        rkey=src_mr.rkey,
+    ))
+
+
+def test_read_moves_bytes(env):
+    pair, src, dst, src_mr, dst_mr = make_read_pair(env, 64 * KiB)
+    post_read(pair, src_mr, dst_mr, 64 * KiB)
+    env.run()
+    assert np.array_equal(dst.data, src.data)
+
+
+def test_read_completion_on_requester(env):
+    pair, src, dst, src_mr, dst_mr = make_read_pair(env, 4 * KiB)
+    post_read(pair, src_mr, dst_mr, 4 * KiB, wr_id=9)
+    env.run()
+    wcs = pair.cq1.poll(4)
+    assert len(wcs) == 1
+    assert wcs[0].opcode is WCOpcode.RDMA_READ
+    assert wcs[0].status is WCStatus.SUCCESS
+    assert wcs[0].wr_id == 9
+    assert wcs[0].byte_len == 4 * KiB
+    # No completion and no RQ consumption at the responder.
+    assert pair.cq0.poll(4) == []
+
+
+def test_read_requires_remote_read_access(env):
+    pair = Pair(env)
+    plain = Buffer(4096)
+    src_mr = verbs.ibv_reg_mr(pair.pd0, plain, ACCESS_LOCAL)
+    dst = Buffer(4096)
+    dst_mr = verbs.ibv_reg_mr(pair.pd1, dst, ACCESS_LOCAL)
+    pair.qp1.post_send(SendWR(
+        wr_id=1, opcode=Opcode.RDMA_READ,
+        sg_list=[SGE(dst_mr.addr, 4096, dst_mr.lkey)],
+        remote_addr=src_mr.addr, rkey=src_mr.rkey))
+    with pytest.raises(ProtectionError, match="remote read"):
+        env.run()
+
+
+def test_read_counts_toward_outstanding_limit(env):
+    pair, src, dst, src_mr, dst_mr = make_read_pair(env, 4 * KiB,
+                                                    backed=False)
+    limit = NIAGARA.nic.max_outstanding_rdma
+    for i in range(limit):
+        post_read(pair, src_mr, dst_mr, 1 * KiB, wr_id=i)
+    with pytest.raises(QPOverflowError):
+        post_read(pair, src_mr, dst_mr, 1 * KiB, wr_id=99)
+    env.run()
+    assert pair.qp1.outstanding_rdma == 0
+
+
+def test_read_timing_includes_round_trip(env):
+    """A read takes at least a full round trip plus wire time."""
+    pair, src, dst, src_mr, dst_mr = make_read_pair(env, 1 * MiB,
+                                                    backed=False)
+    post_read(pair, src_mr, dst_mr, 1 * MiB)
+    env.run()
+    [wc] = pair.cq1.poll(4)
+    wire = 1 * MiB / NIAGARA.nic.line_rate
+    rtt = 2 * NIAGARA.link.latency
+    assert wc.completed_at > wire + rtt * 0.9
+
+
+def test_read_bandwidth_bounded_by_responder_qp(env):
+    """A single read streams at most at the responder QP's rate."""
+    pair, src, dst, src_mr, dst_mr = make_read_pair(env, 16 * MiB,
+                                                    backed=False)
+    post_read(pair, src_mr, dst_mr, 16 * MiB)
+    env.run()
+    [wc] = pair.cq1.poll(4)
+    nominal = 16 * MiB / NIAGARA.nic.qp_rate
+    assert wc.completed_at == pytest.approx(nominal, rel=0.2)
+
+
+def test_read_scatter_into_multiple_sges(env):
+    pair, src, dst, src_mr, dst_mr = make_read_pair(env, 8 * KiB)
+    pair.qp1.post_send(SendWR(
+        wr_id=1, opcode=Opcode.RDMA_READ,
+        sg_list=[
+            SGE(dst_mr.addr, 4 * KiB, dst_mr.lkey),
+            SGE(dst_mr.addr + 4 * KiB, 4 * KiB, dst_mr.lkey),
+        ],
+        remote_addr=src_mr.addr, rkey=src_mr.rkey))
+    env.run()
+    assert np.array_equal(dst.data, src.data)
+
+
+def test_loopback_read(env):
+    from repro.ib.fabric import Fabric
+
+    fabric = Fabric(env)
+    fabric.add_node(0)
+    ctx = verbs.ibv_open_device(fabric, 0)
+    pd = verbs.ibv_alloc_pd(ctx)
+    cq = verbs.ibv_create_cq(ctx)
+    qa = verbs.ibv_create_qp(ctx, pd, cq, cq)
+    qb = verbs.ibv_create_qp(ctx, pd, cq, cq)
+    verbs.connect_qps(qa, qb)
+    src, dst = Buffer(4 * KiB), Buffer(4 * KiB)
+    src.fill_pattern(seed=2)
+    src_mr = verbs.ibv_reg_mr(pd, src, ACCESS_LOCAL | ACCESS_REMOTE_READ)
+    dst_mr = verbs.ibv_reg_mr(pd, dst, ACCESS_LOCAL)
+    qa.post_send(SendWR(
+        wr_id=1, opcode=Opcode.RDMA_READ,
+        sg_list=[SGE(dst_mr.addr, 4 * KiB, dst_mr.lkey)],
+        remote_addr=src_mr.addr, rkey=src_mr.rkey))
+    env.run()
+    assert np.array_equal(dst.data, src.data)
+    [wc] = cq.poll(4)
+    assert wc.completed_at < 2e-6

@@ -1,0 +1,130 @@
+"""Tests for Buffer and PartitionedBuffer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError, ProtectionError
+from repro.mem import Buffer, PartitionedBuffer
+
+
+def test_backed_buffer_roundtrip():
+    buf = Buffer(64)
+    payload = np.arange(16, dtype=np.uint8)
+    buf.write(8, payload)
+    got = buf.read(8, 16)
+    assert np.array_equal(got, payload)
+
+
+def test_buffer_initial_zeroes():
+    buf = Buffer(32)
+    assert np.all(buf.data == 0)
+
+
+def test_buffer_fill_value():
+    buf = Buffer(16, fill=7)
+    assert np.all(buf.data == 7)
+
+
+def test_unbacked_buffer_has_no_data():
+    buf = Buffer(128, backed=False)
+    assert not buf.backed
+    with pytest.raises(ProtectionError):
+        _ = buf.data
+    assert buf.read(0, 64) is None
+    buf.write(0, None)  # no-op, no error
+
+
+def test_unbacked_buffer_still_range_checks():
+    buf = Buffer(128, backed=False)
+    with pytest.raises(ProtectionError):
+        buf.read(100, 64)
+
+
+def test_out_of_range_read_rejected():
+    buf = Buffer(32)
+    with pytest.raises(ProtectionError):
+        buf.read(16, 32)
+    with pytest.raises(ProtectionError):
+        buf.read(-1, 4)
+
+
+def test_out_of_range_write_rejected():
+    buf = Buffer(32)
+    with pytest.raises(ProtectionError):
+        buf.write(30, np.zeros(8, dtype=np.uint8))
+
+
+def test_addresses_unique_and_nonoverlapping():
+    a = Buffer(1024)
+    b = Buffer(1024)
+    assert a.addr + a.nbytes <= b.addr or b.addr + b.nbytes <= a.addr
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        Buffer(0)
+    with pytest.raises(ValueError):
+        Buffer(-5)
+
+
+def test_fill_pattern_matches_expected():
+    buf = Buffer(256)
+    buf.fill_pattern(seed=3)
+    assert np.array_equal(buf.read(50, 100), buf.expected_pattern(50, 100, seed=3))
+
+
+def test_fill_pattern_seed_changes_content():
+    a = Buffer(64)
+    b = Buffer(64)
+    a.fill_pattern(seed=1)
+    b.fill_pattern(seed=2)
+    assert not np.array_equal(a.data, b.data)
+
+
+def test_partitioned_buffer_geometry():
+    buf = PartitionedBuffer(n_partitions=8, partition_size=128)
+    assert buf.nbytes == 1024
+    assert buf.partition_offset(0) == 0
+    assert buf.partition_offset(7) == 896
+
+
+def test_partition_view_is_view():
+    buf = PartitionedBuffer(4, 16)
+    view = buf.partition_view(2)
+    view[:] = 9
+    assert np.all(buf.read(32, 16) == 9)
+
+
+def test_range_offset_spans_partitions():
+    buf = PartitionedBuffer(8, 64)
+    offset, length = buf.range_offset(2, 3)
+    assert offset == 128
+    assert length == 192
+
+
+def test_range_offset_full_buffer():
+    buf = PartitionedBuffer(8, 64)
+    assert buf.range_offset(0, 8) == (0, 512)
+
+
+def test_invalid_partition_index():
+    buf = PartitionedBuffer(4, 16)
+    with pytest.raises(PartitionError):
+        buf.partition_offset(4)
+    with pytest.raises(PartitionError):
+        buf.partition_offset(-1)
+
+
+def test_invalid_partition_range():
+    buf = PartitionedBuffer(4, 16)
+    with pytest.raises(PartitionError):
+        buf.range_offset(2, 3)
+    with pytest.raises(PartitionError):
+        buf.range_offset(0, 0)
+
+
+def test_invalid_partition_geometry():
+    with pytest.raises(PartitionError):
+        PartitionedBuffer(0, 16)
+    with pytest.raises(PartitionError):
+        PartitionedBuffer(4, 0)

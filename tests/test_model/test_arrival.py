@@ -1,0 +1,72 @@
+"""Tests for arrival-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.model import many_before_one, one_before_many, simultaneous, uniform_stagger
+from repro.model.arrival import random_stagger
+
+
+def test_simultaneous_all_zero():
+    assert simultaneous(5) == [0.0] * 5
+
+
+def test_simultaneous_requires_positive_n():
+    with pytest.raises(ValueError):
+        simultaneous(0)
+
+
+def test_many_before_one_default_laggard_is_last():
+    times = many_before_one(4, 0.5)
+    assert times == [0.0, 0.0, 0.0, 0.5]
+
+
+def test_many_before_one_explicit_laggard():
+    times = many_before_one(4, 0.5, laggard=1)
+    assert times == [0.0, 0.5, 0.0, 0.0]
+
+
+def test_many_before_one_single_partition():
+    assert many_before_one(1, 0.25) == [0.25]
+
+
+def test_many_before_one_validation():
+    with pytest.raises(ValueError):
+        many_before_one(4, -1.0)
+    with pytest.raises(ValueError):
+        many_before_one(4, 1.0, laggard=4)
+
+
+def test_one_before_many():
+    times = one_before_many(4, 0.5)
+    assert times == [0.0, 0.5, 0.5, 0.5]
+
+
+def test_one_before_many_validation():
+    with pytest.raises(ValueError):
+        one_before_many(4, 1.0, early=-1)
+
+
+def test_uniform_stagger_endpoints():
+    times = uniform_stagger(5, 1.0)
+    assert times[0] == 0.0
+    assert times[-1] == 1.0
+    assert times == sorted(times)
+
+
+def test_uniform_stagger_single():
+    assert uniform_stagger(1, 1.0) == [0.0]
+
+
+def test_uniform_stagger_negative_spread():
+    with pytest.raises(ValueError):
+        uniform_stagger(4, -0.1)
+
+
+def test_random_stagger_within_bounds_and_deterministic():
+    rng1 = np.random.Generator(np.random.PCG64(42))
+    rng2 = np.random.Generator(np.random.PCG64(42))
+    t1 = random_stagger(10, 2.0, rng1)
+    t2 = random_stagger(10, 2.0, rng2)
+    assert t1 == t2
+    assert all(0.0 <= t <= 2.0 for t in t1)

@@ -1,0 +1,253 @@
+"""Tests for the PLogGP model: recurrence, optimizer, Table I."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import (
+    LogGPParams,
+    completion_time,
+    generate_table1,
+    many_before_one,
+    model_curve,
+    optimal_transport_partitions,
+    simultaneous,
+    transport_ready_times,
+    NIAGARA_LOGGP,
+    TABLE1_PAPER,
+)
+from repro.units import KiB, MiB, us
+
+
+P = LogGPParams(L=us(1), o_s=us(2), o_r=us(3), g=us(1.5), G=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# transport_ready_times
+# ---------------------------------------------------------------------------
+
+
+def test_ready_times_single_group_takes_max():
+    assert transport_ready_times([0.0, 1.0, 0.5, 0.2], 1) == [1.0]
+
+
+def test_ready_times_groups_are_contiguous():
+    ready = transport_ready_times([0.1, 0.2, 0.9, 0.3], 2)
+    assert ready == [0.2, 0.9]
+
+
+def test_ready_times_identity_mapping():
+    user = [0.4, 0.1, 0.7]
+    with pytest.raises(ValueError):
+        transport_ready_times(user, 2)  # 3 % 2 != 0
+    assert transport_ready_times(user + [0.0], 4) == user + [0.0]
+
+
+def test_ready_times_bounds():
+    with pytest.raises(ValueError):
+        transport_ready_times([0.0] * 4, 0)
+    with pytest.raises(ValueError):
+        transport_ready_times([0.0] * 4, 5)
+
+
+# ---------------------------------------------------------------------------
+# completion_time
+# ---------------------------------------------------------------------------
+
+
+def test_single_partition_matches_ptp_plus_drain():
+    res = completion_time(P, 10 * KiB, 1, simultaneous(1))
+    expected = P.o_s + 10 * KiB * P.G + P.L + P.o_r
+    assert res.completion_time == pytest.approx(expected)
+
+
+def test_delay_shifts_completion():
+    base = completion_time(P, 64 * KiB, 1, many_before_one(4, 0.0))
+    delayed = completion_time(P, 64 * KiB, 1, many_before_one(4, 1e-3))
+    assert delayed.completion_time == pytest.approx(
+        base.completion_time + 1e-3)
+
+
+def test_early_bird_beats_single_for_medium_with_delay():
+    """With a laggard, splitting lets early data overlap the delay."""
+    delay = 4e-3
+    size = 8 * MiB
+    t1 = completion_time(P, size, 1, many_before_one(32, delay)).completion_time
+    t8 = completion_time(P, size, 8, many_before_one(32, delay)).completion_time
+    assert t8 < t1
+
+
+def test_more_partitions_worse_for_small_messages():
+    """Per-message o_r drain penalizes high counts at small sizes (Fig. 3)."""
+    delay = 4e-3
+    size = 4 * KiB
+    t1 = completion_time(P, size, 1, many_before_one(32, delay)).completion_time
+    t32 = completion_time(P, size, 32, many_before_one(32, delay)).completion_time
+    assert t1 < t32
+
+
+def test_deferred_vs_inline_drain():
+    """Inline drain can only help (overlaps o_r with flight time)."""
+    size = 1 * MiB
+    for n in (1, 2, 8):
+        deferred = completion_time(
+            P, size, n, many_before_one(8, 1e-3), deferred_drain=True)
+        inline = completion_time(
+            P, size, n, many_before_one(8, 1e-3), deferred_drain=False)
+        assert inline.completion_time <= deferred.completion_time + 1e-12
+
+
+def test_arrivals_and_injections_ordered_per_wire():
+    res = completion_time(P, 1 * MiB, 4, simultaneous(4))
+    inj = sorted(res.injections)
+    k = 1 * MiB // 4
+    gap = max(P.g, k * P.G)
+    for a, b in zip(inj, inj[1:]):
+        assert b - a >= gap - 1e-15
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        completion_time(P, -1, 1, simultaneous(1))
+
+
+# ---------------------------------------------------------------------------
+# optimizer
+# ---------------------------------------------------------------------------
+
+
+def test_optimizer_never_exceeds_user_count():
+    p = optimal_transport_partitions(NIAGARA_LOGGP, 256 * MiB, n_user=4,
+                                     delay=100e-3)
+    assert p <= 4
+
+
+def test_optimizer_requires_power_of_two_users():
+    with pytest.raises(ValueError):
+        optimal_transport_partitions(P, 1 * MiB, n_user=6, delay=0.0)
+
+
+def test_optimizer_returns_power_of_two():
+    for size in (4 * KiB, 1 * MiB, 64 * MiB):
+        p = optimal_transport_partitions(NIAGARA_LOGGP, size, n_user=32,
+                                         delay=100e-3)
+        assert p & (p - 1) == 0
+
+
+def test_optimizer_custom_arrival_pattern():
+    """An alternative pattern plugs in; simultaneous arrival removes
+    the early-bird benefit, so the optimum shrinks."""
+    from repro.model.arrival import uniform_stagger
+
+    size = 8 * MiB
+    with_laggard = optimal_transport_partitions(
+        NIAGARA_LOGGP, size, n_user=32, delay=100e-3)
+    simultaneous_opt = optimal_transport_partitions(
+        NIAGARA_LOGGP, size, n_user=32, delay=0.0,
+        pattern=lambda n, d: [0.0] * n)
+    staggered = optimal_transport_partitions(
+        NIAGARA_LOGGP, size, n_user=32, delay=100e-6,
+        pattern=lambda n, d: uniform_stagger(n, d))
+    assert simultaneous_opt <= with_laggard
+    assert 1 <= staggered <= 32
+
+
+def test_optimizer_pattern_length_validated():
+    with pytest.raises(ValueError, match="arrival times"):
+        optimal_transport_partitions(
+            NIAGARA_LOGGP, 1 * MiB, n_user=8, delay=0.0,
+            pattern=lambda n, d: [0.0] * (n - 1))
+
+
+def test_optimizer_monotone_in_size():
+    """Optimal transport count never decreases with message size."""
+    sizes = [2**i for i in range(12, 29)]
+    counts = [
+        optimal_transport_partitions(NIAGARA_LOGGP, s, n_user=32, delay=100e-3)
+        for s in sizes
+    ]
+    assert counts == sorted(counts)
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+
+def test_table1_reproduces_paper_exactly():
+    got = generate_table1()
+    for size, want in TABLE1_PAPER.items():
+        assert got[size] == want, (
+            f"size {size}: model says {got[size]}, paper says {want}")
+
+
+def test_model_curve_lengths():
+    sizes = [1 * KiB, 1 * MiB, 16 * MiB]
+    curve = model_curve(NIAGARA_LOGGP, sizes, n_transport=4, n_user=32,
+                        delay=4e-3)
+    assert len(curve) == 3
+    assert all(t > 0 for t in curve)
+
+
+def test_fig3_shape_small_vs_large():
+    """Fig. 3: 32 partitions lose at small sizes, beat 1 at large sizes."""
+    delay = 4e-3
+    small, large = 16 * KiB, 128 * MiB
+    t1_small, t1_large = model_curve(
+        NIAGARA_LOGGP, [small, large], 1, 32, delay)
+    t32_small, t32_large = model_curve(
+        NIAGARA_LOGGP, [small, large], 32, 32, delay)
+    assert t1_small < t32_small
+    assert t32_large < t1_large
+
+
+# ---------------------------------------------------------------------------
+# property-based invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    n_user=st.sampled_from([1, 2, 4, 8, 16, 32]),
+    size_exp=st.integers(min_value=8, max_value=27),
+    delay_us=st.floats(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_completion_after_last_ready(n_user, size_exp, delay_us):
+    """Completion can never precede the laggard's arrival."""
+    delay = delay_us * 1e-6
+    size = 2**size_exp
+    res = completion_time(P, size, n_user, many_before_one(n_user, delay))
+    assert res.completion_time >= delay
+
+
+@given(
+    n_user=st.sampled_from([2, 4, 8, 16, 32]),
+    size_exp=st.integers(min_value=10, max_value=27),
+)
+@settings(max_examples=60, deadline=None)
+def test_splitting_never_beats_wire_bound(n_user, size_exp):
+    """No partitioning goes below total wire time + latency."""
+    size = 2**size_exp
+    for n_t in (1, 2, n_user):
+        if n_user % n_t:
+            continue
+        res = completion_time(P, size, n_t, simultaneous(n_user))
+        assert res.completion_time >= size * P.G + P.L
+
+
+@given(
+    delay_ms=st.floats(min_value=0.0, max_value=20.0),
+    n_user=st.sampled_from([4, 8, 16, 32]),
+)
+@settings(max_examples=40, deadline=None)
+def test_optimizer_result_is_argmin(delay_ms, n_user):
+    """The optimizer's pick is at least as good as every alternative."""
+    size = 4 * MiB
+    delay = delay_ms * 1e-3
+    best = optimal_transport_partitions(P, size, n_user=n_user, delay=delay)
+    ready = many_before_one(n_user, delay)
+    t_best = completion_time(P, size, best, ready).completion_time
+    n = 1
+    while n <= n_user:
+        t = completion_time(P, size, n, ready).completion_time
+        assert t_best <= t + 1e-15
+        n *= 2

@@ -1,0 +1,159 @@
+"""Tests for the collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import Cluster
+from repro.mpi.collectives import (
+    _binomial_children,
+    _binomial_parent,
+    allreduce,
+    barrier,
+    bcast,
+    reduce,
+)
+
+
+def run_collective(world, program):
+    cluster = Cluster(n_nodes=world)
+    procs = cluster.ranks(world)
+    results = {}
+
+    def wrapper(proc):
+        value = yield from program(proc)
+        results[proc.rank] = (value, proc.env.now)
+
+    for proc in procs:
+        cluster.spawn(wrapper(proc))
+    cluster.run()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# binomial tree structure
+# ---------------------------------------------------------------------------
+
+
+def test_binomial_tree_consistency():
+    """parent(child) == rank, for every rank/root/world combination."""
+    for world in (1, 2, 3, 4, 5, 8, 13):
+        for root in range(world):
+            seen = set()
+            for rank in range(world):
+                for child in _binomial_children(rank, root, world):
+                    assert _binomial_parent(child, root, world) == rank
+                    assert child not in seen
+                    seen.add(child)
+            # every non-root rank is exactly one rank's child
+            assert seen == {r for r in range(world) if r != root}
+
+
+def test_binomial_root_has_no_parent():
+    assert _binomial_parent(3, 3, 8) is None
+
+
+# ---------------------------------------------------------------------------
+# barrier
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("world", [2, 3, 4, 7, 8])
+def test_barrier_synchronizes(world):
+    def program(proc):
+        # Stagger the arrivals: rank r arrives at r * 10us.
+        yield proc.env.timeout(proc.rank * 10e-6)
+        yield from barrier(proc, world)
+        return proc.env.now
+
+    results = run_collective(world, program)
+    exit_times = [t for (v, t) in results.values()]
+    latest_arrival = (world - 1) * 10e-6
+    assert all(t >= latest_arrival for t in exit_times)
+    # Exits cluster within a few fabric crossings of each other.
+    assert max(exit_times) - min(exit_times) < 20e-6
+
+
+def test_barrier_single_rank_is_noop():
+    def program(proc):
+        yield from barrier(proc, 1)
+        return proc.env.now
+
+    results = run_collective(1, program)
+    assert results[0][1] == 0.0
+
+
+def test_barrier_repeated():
+    world = 4
+
+    def program(proc):
+        for _ in range(3):
+            yield from barrier(proc, world)
+        return proc.env.now
+
+    run_collective(world, program)
+
+
+# ---------------------------------------------------------------------------
+# bcast / reduce / allreduce
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("world", [2, 3, 4, 6, 8])
+def test_bcast_delivers_roots_data(world):
+    payload = np.arange(256, dtype=np.int64)
+
+    def program(proc):
+        data = payload.copy() if proc.rank == 1 else np.zeros(256, np.int64)
+        result = yield from bcast(proc, world, data, root=1)
+        return result.copy()
+
+    results = run_collective(world, program)
+    for rank, (value, _) in results.items():
+        assert np.array_equal(value, payload), f"rank {rank}"
+
+
+@pytest.mark.parametrize("world", [2, 3, 5, 8])
+def test_reduce_sums_at_root(world):
+    def program(proc):
+        data = np.full(64, proc.rank + 1, dtype=np.int64)
+        result = yield from reduce(proc, world, data, op=np.add, root=0)
+        return result.copy()
+
+    results = run_collective(world, program)
+    expected = sum(range(1, world + 1))
+    assert np.all(results[0][0] == expected)
+
+
+def test_reduce_with_max_op():
+    world = 4
+
+    def program(proc):
+        data = np.array([proc.rank * 10], dtype=np.int64)
+        result = yield from reduce(proc, world, data, op=np.maximum, root=0)
+        return result.copy()
+
+    results = run_collective(world, program)
+    assert results[0][0][0] == 30
+
+
+@pytest.mark.parametrize("world", [2, 4, 5])
+def test_allreduce_everyone_gets_total(world):
+    def program(proc):
+        data = np.full(32, proc.rank + 1, dtype=np.float64)
+        result = yield from allreduce(proc, world, data)
+        return result.copy()
+
+    results = run_collective(world, program)
+    expected = sum(range(1, world + 1))
+    for rank, (value, _) in results.items():
+        assert np.allclose(value, expected), f"rank {rank}"
+
+
+def test_bcast_bad_root_rejected():
+    def program(proc):
+        with pytest.raises(MPIError):
+            yield from bcast(proc, 2, np.zeros(4), root=5)
+        return None
+
+    run_collective(2, program)

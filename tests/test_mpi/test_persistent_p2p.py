@@ -1,0 +1,124 @@
+"""Tests for classic persistent point-to-point (Send_init/Recv_init)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError, RequestError
+from repro.mem import Buffer
+from repro.mpi import Cluster
+from repro.units import KiB, MiB
+
+
+def make_pair():
+    cluster = Cluster(n_nodes=2)
+    a, b = cluster.ranks(2)
+    return cluster, a, b
+
+
+def test_persistent_roundtrip_multiple_rounds():
+    cluster, a, b = make_pair()
+    sbuf = Buffer(64 * KiB)
+    rbuf = Buffer(64 * KiB)
+    rounds = 4
+
+    def sender(proc):
+        req = proc.send_init(sbuf, dest=1, tag=0)
+        for rnd in range(rounds):
+            sbuf.fill_pattern(seed=rnd)
+            proc.start_p2p(req)
+            yield from proc.wait(req)
+
+    def receiver(proc):
+        req = proc.recv_init(rbuf, source=0, tag=0)
+        for rnd in range(rounds):
+            proc.start_p2p(req)
+            yield from proc.wait(req)
+            assert np.array_equal(
+                rbuf.data, rbuf.expected_pattern(0, rbuf.nbytes, seed=rnd))
+
+    cluster.spawn(sender(a))
+    cluster.spawn(receiver(b))
+    cluster.run()
+
+
+def test_wait_on_inactive_request_returns_immediately():
+    cluster, a, b = make_pair()
+
+    def prog(proc):
+        req = proc.send_init(Buffer(256), dest=1, tag=0)
+        t0 = proc.env.now
+        yield from proc.wait(req)  # never started: no-op per MPI
+        return proc.env.now - t0
+
+    p = cluster.spawn(prog(a))
+    cluster.run(until=p)
+    assert p.value == 0.0
+
+
+def test_double_start_rejected():
+    cluster, a, b = make_pair()
+    req = a.send_init(Buffer(1 * MiB, backed=False), dest=1, tag=0)
+    a.start_p2p(req)
+    with pytest.raises(RequestError):
+        a.start_p2p(req)
+
+
+def test_startall_launches_everything():
+    cluster, a, b = make_pair()
+    sbufs = [Buffer(4 * KiB, backed=False) for _ in range(3)]
+    rbufs = [Buffer(4 * KiB, backed=False) for _ in range(3)]
+
+    def sender(proc):
+        reqs = [proc.send_init(s, dest=1, tag=i)
+                for i, s in enumerate(sbufs)]
+        proc.startall(reqs)
+        yield from proc.wait_all(reqs)
+        assert all(r.rounds_started == 1 for r in reqs)
+
+    def receiver(proc):
+        reqs = [proc.recv_init(r, source=0, tag=i)
+                for i, r in enumerate(rbufs)]
+        proc.startall(reqs)
+        yield from proc.wait_all(reqs)
+
+    cluster.spawn(sender(a))
+    cluster.spawn(receiver(b))
+    cluster.run()
+
+
+def test_offset_and_nbytes_honoured():
+    cluster, a, b = make_pair()
+    sbuf = Buffer(1024)
+    rbuf = Buffer(1024)
+    sbuf.fill_pattern(seed=5)
+
+    def sender(proc):
+        req = proc.send_init(sbuf, dest=1, tag=0, offset=256, nbytes=512)
+        proc.start_p2p(req)
+        yield from proc.wait(req)
+
+    def receiver(proc):
+        req = proc.recv_init(rbuf, source=0, tag=0, offset=128, nbytes=512)
+        proc.start_p2p(req)
+        yield from proc.wait(req)
+
+    cluster.spawn(sender(a))
+    cluster.spawn(receiver(b))
+    cluster.run()
+    assert np.array_equal(rbuf.data[128:640], sbuf.data[256:768])
+
+
+def test_bad_range_rejected():
+    cluster, a, b = make_pair()
+    with pytest.raises(MPIError):
+        a.send_init(Buffer(64), dest=1, tag=0, nbytes=128)
+    with pytest.raises(MPIError):
+        b.recv_init(Buffer(64), source=0, tag=0, offset=60, nbytes=32)
+
+
+def test_bad_kind_rejected():
+    from repro.mpi.request import PersistentP2PRequest
+
+    cluster, a, b = make_pair()
+    with pytest.raises(RequestError):
+        PersistentP2PRequest(a, "bogus", Buffer(64), 64, 1, 0)

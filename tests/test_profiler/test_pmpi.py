@@ -1,0 +1,114 @@
+"""Tests for the PMPI-style profiler."""
+
+import pytest
+
+from repro.mem import PartitionedBuffer
+from repro.mpi import Cluster
+from repro.mpi.persist_module import PersistSpec
+from repro.profiler import PMPIProfiler
+from repro.units import KiB
+
+
+def run_profiled(rounds=3, n_parts=4, stagger=1e-6):
+    cluster = Cluster(n_nodes=2)
+    s_proc, r_proc = cluster.ranks(2)
+    profiler = PMPIProfiler()
+    profiler.attach(s_proc)
+    sbuf = PartitionedBuffer(n_parts, 1 * KiB, backed=False)
+    rbuf = PartitionedBuffer(n_parts, 1 * KiB, backed=False)
+
+    def sender(proc):
+        req = proc.psend_init(sbuf, dest=1, tag=0, module=PersistSpec())
+        for _ in range(rounds):
+            yield from proc.start(req)
+            for i in range(n_parts):
+                yield proc.env.timeout(stagger)
+                yield from proc.pready(req, i)
+            yield from proc.wait_partitioned(req)
+
+    def receiver(proc):
+        req = proc.precv_init(rbuf, source=0, tag=0, module=PersistSpec())
+        for _ in range(rounds):
+            yield from proc.start(req)
+            yield from proc.wait_partitioned(req)
+
+    cluster.spawn(sender(s_proc))
+    cluster.spawn(receiver(r_proc))
+    cluster.run()
+    return profiler
+
+
+def test_records_one_round_per_start():
+    profiler = run_profiled(rounds=3)
+    assert len(profiler.rounds) == 3
+    assert [r.round_index for r in profiler.rounds] == [0, 1, 2]
+
+
+def test_records_all_preadys():
+    profiler = run_profiled(n_parts=4)
+    for record in profiler.completed_rounds():
+        assert sorted(record.pready) == [0, 1, 2, 3]
+        assert record.t_complete is not None
+        assert record.t_complete >= max(record.pready.values())
+
+
+def test_relative_times_start_from_start():
+    # Skip round 0: its Start blocks on the async QP exchange, which is
+    # (correctly) charged to the program's time-in-Start.
+    profiler = run_profiled(rounds=2, stagger=2e-6)
+    record = profiler.completed_rounds(skip=1)[0]
+    rel = record.relative_pready_times()
+    assert rel[0] == pytest.approx(2e-6, rel=0.5)
+    # Staggered 2us apart plus per-call processing.
+    for a, b in zip(rel, rel[1:]):
+        assert 2e-6 <= b - a < 4e-6
+
+
+def test_arrival_rounds_shape():
+    profiler = run_profiled(rounds=4, n_parts=4)
+    rounds = profiler.arrival_rounds(skip=1)
+    assert len(rounds) == 3
+    assert all(len(r) == 4 for r in rounds)
+
+
+def test_attach_is_idempotent():
+    cluster = Cluster(n_nodes=2)
+    proc = cluster.add_process()
+    profiler = PMPIProfiler()
+    profiler.attach(proc)
+    wrapped = proc.start
+    profiler.attach(proc)
+    assert proc.start is wrapped
+
+
+def test_profiling_does_not_change_timing():
+    t_profiled = None
+    t_plain = None
+    for profiled in (True, False):
+        cluster = Cluster(n_nodes=2)
+        s_proc, r_proc = cluster.ranks(2)
+        if profiled:
+            PMPIProfiler().attach(s_proc)
+        sbuf = PartitionedBuffer(4, 1 * KiB, backed=False)
+        rbuf = PartitionedBuffer(4, 1 * KiB, backed=False)
+
+        def sender(proc):
+            req = proc.psend_init(sbuf, dest=1, tag=0, module=PersistSpec())
+            yield from proc.start(req)
+            for i in range(4):
+                yield from proc.pready(req, i)
+            yield from proc.wait_partitioned(req)
+
+        def receiver(proc):
+            req = proc.precv_init(rbuf, source=0, tag=0, module=PersistSpec())
+            yield from proc.start(req)
+            yield from proc.wait_partitioned(req)
+
+        cluster.spawn(sender(s_proc))
+        cluster.spawn(receiver(r_proc))
+        cluster.run()
+        if profiled:
+            t_profiled = cluster.env.now
+        else:
+            t_plain = cluster.env.now
+    assert t_profiled == pytest.approx(t_plain)

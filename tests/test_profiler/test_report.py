@@ -1,0 +1,57 @@
+"""Tests for arrival-profile reports (Figs. 10-11 logic)."""
+
+import pytest
+
+from repro.config import NIAGARA
+from repro.profiler import arrival_profile, early_bird_fraction
+from repro.units import MiB
+
+
+def test_profile_sorts_and_averages():
+    rounds = [
+        [3e-6, 1e-6, 4e-3],
+        [1e-6, 3e-6, 4e-3],
+    ]
+    profile = arrival_profile(rounds, partition_size=1 * MiB)
+    assert profile.compute_spans == (1e-6, 3e-6, 4e-3)
+    assert profile.laggard_time == pytest.approx(4e-3)
+    assert profile.comm_span == pytest.approx(1 * MiB / NIAGARA.nic.line_rate)
+
+
+def test_empty_rounds_rejected():
+    with pytest.raises(ValueError):
+        arrival_profile([], partition_size=1024)
+
+
+def test_medium_message_all_early():
+    """Fig. 10: at 8 MiB / 32 partitions, every non-laggard partition
+    transfers before the 4 ms laggard."""
+    n = 32
+    part = 8 * MiB // n
+    rounds = [[0.0] * (n - 1) + [4e-3]]
+    profile = arrival_profile(rounds, partition_size=part)
+    assert early_bird_fraction(profile) == pytest.approx(1.0)
+
+
+def test_large_message_partial_early():
+    """Fig. 11: at 128 MiB / 32 partitions the wire only clears ~3/8
+    of the early partitions within the 4 ms window."""
+    n = 32
+    part = 128 * MiB // n
+    rounds = [[0.0] * (n - 1) + [4e-3]]
+    profile = arrival_profile(rounds, partition_size=part)
+    fraction = early_bird_fraction(profile)
+    assert 0.2 < fraction < 0.55
+    assert fraction == pytest.approx(3 / 8, abs=0.1)
+
+
+def test_single_partition_has_no_early_bird():
+    profile = arrival_profile([[1e-3]], partition_size=1024)
+    assert early_bird_fraction(profile) == 0.0
+
+
+def test_transfer_end_monotone():
+    rounds = [[0.0, 1e-6, 2e-6, 1e-3]]
+    profile = arrival_profile(rounds, partition_size=1 * MiB)
+    ends = [profile.transfer_end(i) for i in range(4)]
+    assert ends == sorted(ends)

@@ -1,0 +1,66 @@
+"""Tests for noise models."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import GaussianNoise, NoNoise, SingleThreadDelay, UniformNoise
+
+
+def rng():
+    return np.random.Generator(np.random.PCG64(7))
+
+
+def test_no_noise_is_zero():
+    d = NoNoise().delays(8, 0.1, 0, rng())
+    assert np.all(d == 0)
+    assert d.shape == (8,)
+
+
+def test_single_thread_delay_one_victim():
+    d = SingleThreadDelay(0.04).delays(16, 0.1, 0, rng())
+    assert np.count_nonzero(d) == 1
+    assert d.max() == pytest.approx(0.004)
+
+
+def test_single_thread_delay_fixed_victim():
+    model = SingleThreadDelay(0.01, fixed_victim=3)
+    for round_index in range(5):
+        d = model.delays(8, 1.0, round_index, rng())
+        assert d[3] == pytest.approx(0.01)
+        assert np.count_nonzero(d) == 1
+
+
+def test_single_thread_delay_victim_rotates():
+    model = SingleThreadDelay(0.04)
+    generator = rng()
+    victims = {int(np.argmax(model.delays(16, 0.1, r, generator)))
+               for r in range(50)}
+    assert len(victims) > 3
+
+
+def test_single_thread_delay_zero_fraction():
+    d = SingleThreadDelay(0.0).delays(8, 0.1, 0, rng())
+    assert np.all(d == 0)
+
+
+def test_negative_fraction_rejected():
+    for cls in (SingleThreadDelay, GaussianNoise, UniformNoise):
+        with pytest.raises(ValueError):
+            cls(-0.1)
+
+
+def test_gaussian_noise_all_threads_nonnegative():
+    d = GaussianNoise(0.04).delays(64, 0.1, 0, rng())
+    assert np.all(d >= 0)
+    assert np.count_nonzero(d) > 32
+
+
+def test_uniform_noise_bounded():
+    d = UniformNoise(0.04).delays(64, 0.1, 0, rng())
+    assert np.all(d >= 0)
+    assert np.all(d <= 0.004)
+
+
+def test_describe_strings():
+    assert "4%" in SingleThreadDelay(0.04).describe()
+    assert NoNoise().describe() == "none"

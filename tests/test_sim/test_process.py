@@ -1,0 +1,222 @@
+"""Tests for Process: lifecycle, interruption, composition."""
+
+import pytest
+
+from repro.errors import Interrupt, ProcessError
+from repro.sim import Environment
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return 99
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 99
+
+
+def test_process_is_alive_until_done():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run(until=1.0)
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_waiting_on_another_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3.0)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "child-result"
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return "early"
+
+    def parent(env, c):
+        yield env.timeout(5.0)
+        result = yield c  # already finished
+        return (result, env.now)
+
+    c = env.process(child(env))
+    p = env.process(parent(env, c))
+    env.run()
+    assert p.value == ("early", 5.0)
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise ValueError("child failed")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            return f"caught: {exc}"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "caught: child failed"
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+            log.append("overslept")
+        except Interrupt as intr:
+            log.append(("interrupted", env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", 2.0, "wake up")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        return env.now
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == 3.0
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    def late(env, target):
+        yield env.timeout(5.0)
+        with pytest.raises(ProcessError):
+            target.interrupt()
+
+    target = env.process(quick(env))
+    env.process(late(env, target))
+    env.run()
+
+
+def test_self_interrupt_raises():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(0.0)
+        with pytest.raises(ProcessError):
+            handle.interrupt()
+
+    handle = env.process(proc(env))
+    env.run()
+
+
+def test_stale_timeout_does_not_double_resume():
+    """After an interrupt, the original timeout firing must be ignored."""
+    env = Environment()
+    wakeups = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10.0)
+            wakeups.append("timeout")
+        except Interrupt:
+            wakeups.append("interrupt")
+        yield env.timeout(20.0)  # outlives the stale timeout at t=10
+        wakeups.append("second")
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert wakeups == ["interrupt", "second"]
+    assert env.now == 21.0
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    p = env.process(bad(env))
+    with pytest.raises(ProcessError):
+        env.run()
+    assert p.triggered and not p.ok
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(ProcessError):
+        env.process(lambda: None)
+
+
+def test_process_named_after_generator():
+    env = Environment()
+
+    def my_worker(env):
+        yield env.timeout(0)
+
+    p = env.process(my_worker(env))
+    assert p.name == "my_worker"
+    env.run()
+
+
+def test_many_processes_complete():
+    env = Environment()
+    done = []
+
+    def worker(env, i):
+        yield env.timeout(i * 0.1)
+        done.append(i)
+
+    for i in range(100):
+        env.process(worker(env, i))
+    env.run()
+    assert done == list(range(100))

@@ -1,0 +1,96 @@
+"""Extension: perceived bandwidth under deterministic chunk loss.
+
+The paper evaluates on a healthy EDR fabric; this extension arms the
+``repro.faults`` subsystem and sweeps per-chunk loss probabilities over
+the three designs of Fig. 9.  Lost chunks are recovered by the RC
+retransmission machinery (``retry_cnt`` / ACK-timeout), so the question
+is how gracefully each design's perceived bandwidth degrades: the
+aggregating designs put more bytes behind each WR, so one lost chunk
+stalls a larger in-order window than the per-partition baseline.
+"""
+
+# Allow both `python benchmarks/bench_*.py` and `python -m benchmarks...`.
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+
+import sys
+
+from benchmarks.common import (
+    PERCEIVED_COMPUTE,
+    PERCEIVED_NOISE,
+    ploggp_aggregator,
+    timer_aggregator,
+)
+from repro.bench.perceived import run_perceived_bandwidth
+from repro.bench.reporting import format_table
+from repro.units import fmt_rate
+from repro.faults import FaultSchedule
+from repro.units import MiB
+
+N_USER = 16
+TOTAL_BYTES = 32 * MiB
+LOSS_RATES = [0.0, 1e-5, 1e-4, 1e-3]
+
+
+def run_ext_faults(n_user=N_USER, total_bytes=TOTAL_BYTES,
+                   losses=LOSS_RATES, iterations=10, warmup=3):
+    """{loss: {design: (perceived bw, retransmits)}} over the sweep."""
+    designs = {
+        "persist": None,
+        "ploggp": ploggp_aggregator(),
+        "timer(3000us)": timer_aggregator(),
+    }
+    table = {}
+    for loss in losses:
+        table[loss] = {}
+        for name, module in designs.items():
+            schedule = (FaultSchedule().chunk_loss(loss)
+                        if loss > 0.0 else None)
+            point = run_perceived_bandwidth(
+                module, n_user=n_user, total_bytes=total_bytes,
+                compute=PERCEIVED_COMPUTE, noise_fraction=PERCEIVED_NOISE,
+                iterations=iterations, warmup=warmup,
+                fault_schedule=schedule)
+            counters = point.result.counters
+            table[loss][name] = (point.perceived_bandwidth,
+                                 counters.get("ib.retransmits", 0))
+    return table
+
+
+def format_faults_table(table):
+    designs = list(next(iter(table.values())))
+    headers = ["loss"] + [f"{d} (bw, rexmt)" for d in designs]
+    rows = []
+    for loss, line in table.items():
+        row = [f"{loss:g}"]
+        for d in designs:
+            bw, rexmt = line[d]
+            row.append(f"{fmt_rate(bw)} {rexmt:4d}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def test_ext_faults(benchmark):
+    table = benchmark.pedantic(
+        run_ext_faults, args=(8, 8 * MiB, [0.0, 1e-3], 3, 1),
+        rounds=1, iterations=1)
+    clean = table[0.0]
+    lossy = table[1e-3]
+    # The off path stays off: a loss-free sweep never retransmits.
+    assert all(rexmt == 0 for _, rexmt in clean.values())
+    # Every design completes under loss (recovery, not hangs).
+    assert all(bw > 0 for bw, _ in lossy.values())
+    benchmark.extra_info["persist_bw_loss1e3"] = fmt_rate(
+        lossy["persist"][0])
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    print(f"{N_USER} partitions x {TOTAL_BYTES // MiB // N_USER} MiB, "
+          f"100 ms compute, 4 % noise; bw = perceived, rexmt = RC "
+          f"retransmissions across the run")
+    print(format_faults_table(run_ext_faults()))
+    sys.exit(0)

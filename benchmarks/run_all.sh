@@ -18,7 +18,8 @@ for b in \
     bench_fig14_sweep3d \
     bench_ext_ablations \
     bench_ext_model_vs_sim \
-    bench_ext_halo; do
+    bench_ext_halo \
+    bench_ext_faults; do
     echo "== $b =="
     python "benchmarks/$b.py" > "results/$b.txt" 2>&1
 done

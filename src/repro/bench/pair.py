@@ -67,6 +67,8 @@ class PairBenchResult:
     #: WRs the module posted across the whole run (native module only).
     wrs_posted: Optional[int] = None
     timer_flushes: Optional[int] = None
+    #: Fabric counters at end of run (fault/retry/reconnect stats).
+    counters: dict = field(default_factory=dict)
 
     @property
     def mean_time(self) -> float:
@@ -101,16 +103,21 @@ def run_partitioned_pair(
     config: Optional[ClusterConfig] = None,
     backed: bool = False,
     seed: Optional[int] = None,
+    fault_schedule=None,
 ) -> PairBenchResult:
     """Run one (module, workload) configuration end to end.
 
     ``spec_factory`` is called once per side so each gets its own spec
     object.  With ``backed=True`` real bytes move and are verified.
+    ``fault_schedule`` (a :class:`repro.faults.FaultSchedule`) arms
+    deterministic fault injection on the pair's fabric.
     """
     config = config if config is not None else NIAGARA
     if seed is not None:
         config = config.with_changes(seed=seed)
     cluster = Cluster(n_nodes=2, config=config)
+    if fault_schedule is not None:
+        cluster.fabric.install_faults(fault_schedule)
     sender_proc, receiver_proc = cluster.ranks(2)
     cores = config.host.cores_per_node
     if n_user > cores:
@@ -163,4 +170,5 @@ def run_partitioned_pair(
     if backed and not np.array_equal(rbuf.data, sbuf.data):
         raise AssertionError("receive buffer does not match send buffer")
     result.iterations = records[warmup:]
+    result.counters = cluster.fabric.counters.as_dict()
     return result

@@ -55,12 +55,14 @@ def run_perceived_bandwidth(
     warmup: int = 3,
     config: Optional[ClusterConfig] = None,
     fixed_victim: Optional[int] = None,
+    fault_schedule=None,
 ) -> PerceivedResult:
     """One perceived-bandwidth point (None module = part_persist).
 
     Defaults follow the paper: 100 ms compute, 4 % noise, single-thread
     delay.  ``fixed_victim`` pins the laggard (used when profiling
-    arrival patterns for Figs. 10-12).
+    arrival patterns for Figs. 10-12); ``fault_schedule`` arms
+    deterministic fault injection for the run.
     """
     config = config if config is not None else NIAGARA
     partition_size = total_bytes // n_user
@@ -76,6 +78,7 @@ def run_perceived_bandwidth(
         iterations=iterations,
         warmup=warmup,
         config=config,
+        fault_schedule=fault_schedule,
     )
     return PerceivedResult(
         n_user=n_user,

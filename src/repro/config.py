@@ -56,6 +56,26 @@ class NICConfig:
     #: transmissions are broken into chunks so concurrent QPs interleave
     #: (approximates per-packet VL arbitration without per-packet events).
     wire_chunk: int = 256 * KiB
+    #: Default RC transport-retry budget per QP (``IBV_QP_RETRY_CNT``):
+    #: retransmissions after an ACK timeout before the WR completes with
+    #: ``RETRY_EXC_ERR`` and the QP drops to ERROR.
+    retry_cnt: int = 7
+    #: Default RNR NAK retry budget per QP (``IBV_QP_RNR_RETRY``).  Per
+    #: the IB spec the value 7 means retry forever.
+    rnr_retry: int = 7
+    #: Default local-ACK-timeout *exponent* per QP (``IBV_QP_TIMEOUT``):
+    #: the first retransmission fires ``4.096 us x 2**qp_timeout`` after
+    #: the message went on the wire, and each further retry doubles the
+    #: wait — IB's exponential timeout semantics.
+    qp_timeout: int = 4
+    #: Time a requester backs off after an RNR NAK before retrying
+    #: (models the ``IBV_QP_MIN_RNR_TIMER`` the responder advertises).
+    rnr_timer: float = us(10)
+
+    @property
+    def ack_timeout(self) -> float:
+        """Base local ACK timeout in seconds (4.096 us x 2^qp_timeout)."""
+        return 4.096e-6 * (1 << self.qp_timeout)
 
     def validate(self) -> None:
         if self.line_rate <= 0 or self.qp_rate <= 0:
@@ -70,6 +90,14 @@ class NICConfig:
             raise ConfigError("wire_chunk must be >= mtu")
         if min(self.t_wqe, self.t_pkt, self.t_cqe) < 0:
             raise ConfigError("times must be non-negative")
+        if not (0 <= self.retry_cnt <= 7):
+            raise ConfigError("retry_cnt must be a 3-bit value (0..7)")
+        if not (0 <= self.rnr_retry <= 7):
+            raise ConfigError("rnr_retry must be a 3-bit value (0..7)")
+        if not (0 <= self.qp_timeout <= 31):
+            raise ConfigError("qp_timeout must be a 5-bit exponent (0..31)")
+        if self.rnr_timer < 0:
+            raise ConfigError("rnr_timer must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -228,6 +256,14 @@ class PartitionedConfig:
     #: module (cheaper than the UCX per-message path: no matching,
     #: no protocol dispatch — decode the immediate, set flags).
     t_rx_wr: float = ns(200)
+    #: Back-off before a failed channel attempts its RESET -> INIT ->
+    #: RTR -> RTS reconnect walk (models the out-of-band re-exchange).
+    reconnect_delay: float = us(500)
+    #: While a channel is degraded, downgrade aggregated posts toward
+    #: per-partition sends (persistent-style) so each retransmission
+    #: unit stays small.  Disable to keep the aggregation plan fixed
+    #: across failures.
+    degrade_on_fault: bool = True
 
     def validate(self) -> None:
         if self.default_qps < 1:
@@ -236,6 +272,8 @@ class PartitionedConfig:
             raise ConfigError("timer settings invalid")
         if self.t_rx_wr < 0:
             raise ConfigError("t_rx_wr must be non-negative")
+        if self.reconnect_delay < 0:
+            raise ConfigError("reconnect_delay must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -286,6 +324,11 @@ _ENV_KNOBS = {
     "REPRO_QP_RATE_FRACTION": ("nic", "_qp_fraction", float),
     "REPRO_MTU": ("nic", "mtu", int),
     "REPRO_WIRE_CHUNK": ("nic", "wire_chunk", int),
+    "REPRO_RETRY_CNT": ("nic", "retry_cnt", int),
+    "REPRO_RNR_RETRY": ("nic", "rnr_retry", int),
+    "REPRO_QP_TIMEOUT": ("nic", "qp_timeout", int),
+    "REPRO_RECONNECT_DELAY_US": ("part", "reconnect_delay",
+                                 lambda v: float(v) * 1e-6),
     "REPRO_LINK_LATENCY_US": ("link", "latency", lambda v: float(v) * 1e-6),
     "REPRO_CORES_PER_NODE": ("host", "cores_per_node", int),
     "REPRO_SEED": (None, "seed", int),

@@ -26,7 +26,13 @@ import numpy as np
 from repro.core.aggregators import AggregationPlan, Aggregator
 from repro.core.immediate import decode_immediate, encode_immediate
 from repro.errors import PartitionError
-from repro.ib.constants import ACCESS_LOCAL, ACCESS_REMOTE_WRITE, Opcode
+from repro.ib.constants import (
+    ACCESS_LOCAL,
+    ACCESS_REMOTE_WRITE,
+    Opcode,
+    QPState,
+    WCStatus,
+)
 from repro.ib.wr import SGE, RecvWR, SendWR
 from repro.mpi.modules import ModuleSpec, PartitionedModule
 from repro.sim.sync import AtomicCounter
@@ -79,6 +85,16 @@ class NativeVerbsModule(PartitionedModule):
         self._round_pready_times: Optional[list] = None
         #: δ used each round (diagnostics for the auto-tuner).
         self.delta_history: list[float] = []
+        # fault-recovery state.  _wr_ranges maps every in-flight WR to
+        # (qp index, runs, sg_seq) so a WR that dies — by error CQE or
+        # by vanishing with a killed QP — can be replayed exactly once.
+        self._wr_ranges: dict[int, tuple] = {}
+        self._replay: list[tuple[int, int]] = []
+        self._recovering = False
+        #: Degraded aggregation: post per-partition instead of grouped
+        #: runs while the channel is suspect (cleared after a clean round).
+        self._degraded = False
+        self._fault_in_round = False
         # statistics across rounds
         self.total_wrs_posted = 0
         self.timer_flushes = 0
@@ -162,16 +178,25 @@ class NativeVerbsModule(PartitionedModule):
         self._ready_count = 0
         self._posted = 0
         self._acked = 0
+        # Degradation hysteresis: one clean round restores aggregation.
+        if self._degraded and not self._fault_in_round and not self._recovering:
+            self._degraded = False
+        self._fault_in_round = False
         return
         yield  # pragma: no cover - generator protocol
 
-    def start_recv(self, req):
-        """Pre-post this round's receive WRs (Section IV-A).
+    def _restock_recv(self) -> None:
+        """Top each QP's RQ up to its worst-case message count.
 
-        Tops each QP's RQ up to its worst-case message count so stale
-        entries from timer rounds are reused rather than leaked.
+        Shared by ``MPI_Start`` and channel recovery (a reconnected QP
+        comes back with whatever survived the flush re-armed here).
         """
         per_group_max = self.group_size if self.plan.timer_delta is not None else 1
+        if self.cluster.fabric.faults is not None:
+            # A degraded sender may downgrade any group to
+            # per-partition sends; stock for that worst case so
+            # replays never starve the RQ into an RNR livelock.
+            per_group_max = self.group_size
         targets = [0] * self.plan.n_qps
         for g in range(self.plan.n_transport):
             targets[g % self.plan.n_qps] += per_group_max
@@ -179,6 +204,14 @@ class NativeVerbsModule(PartitionedModule):
             deficit = target - len(qp.rq)
             for _ in range(max(0, deficit)):
                 qp.post_recv(RecvWR(wr_id=next(_wrid)))
+
+    def start_recv(self, req):
+        """Pre-post this round's receive WRs (Section IV-A).
+
+        Tops each QP's RQ up to its worst-case message count so stale
+        entries from timer rounds are reused rather than leaked.
+        """
+        self._restock_recv()
         # Grant the sender this round's credit, one fabric latency away.
         env = self.env
         fabric = self.cluster.fabric
@@ -295,11 +328,20 @@ class NativeVerbsModule(PartitionedModule):
         """One RDMA-write-with-immediate for user partitions [start, +count).
 
         Deferred (without posting) when the receiver's round credit has
-        not arrived yet; the credit flushes the backlog.
+        not arrived yet; the credit flushes the backlog.  While the
+        channel is degraded by a fault, aggregation downgrades to
+        per-partition WRs so a retransmitted unit of loss is one
+        partition, not a whole transport group.
         """
         self._sent[start : start + count] = True
         if self._armed_round < self.send_req.round:
             self._deferred.append((start, count))
+            return
+        if (self._degraded and count > 1
+                and self.cluster.config.part.degrade_on_fault):
+            self.cluster.fabric.counters.inc("mpi.degraded_posts", count)
+            for p in range(start, start + count):
+                yield from self._issue_wr(p, 1)
             return
         yield from self._issue_wr(start, count)
 
@@ -332,12 +374,27 @@ class NativeVerbsModule(PartitionedModule):
             yield self.env.timeout(
                 self.sender.software_cost(self.sender.config.host.t_post))
             group = start // self.group_size
-            qp = self.send_qps[group % self.plan.n_qps]
+            qp_idx = group % self.plan.n_qps
+            qp = self.send_qps[qp_idx]
             while not qp.has_rdma_slot():
                 yield qp.wait_rdma_slot()
+            if qp.state is not QPState.RTS:
+                # The channel died under us (wait_rdma_slot fires
+                # immediately on an ERROR QP).  Park the range: channel
+                # recovery replays it after the reconnect walk.
+                if not self._recovery_enabled:
+                    from repro.errors import ChannelDownError
+
+                    raise ChannelDownError(
+                        f"send QP {qp.qp_num} is {qp.state.value} and "
+                        "reconnect is disabled")
+                self._replay.append((start, count))
+                self._note_fault()
+                return
             offset, length = req.buf.range_offset(start, count)
+            wr_id = next(_wrid)
             qp.post_send(SendWR(
-                wr_id=next(_wrid),
+                wr_id=wr_id,
                 opcode=Opcode.RDMA_WRITE_WITH_IMM,
                 sg_list=[SGE(self.send_mr.addr + offset, length,
                              self.send_mr.lkey)],
@@ -345,6 +402,7 @@ class NativeVerbsModule(PartitionedModule):
                 rkey=self.recv_mr.rkey,
                 imm_data=encode_immediate(start, count),
             ))
+            self._wr_ranges[wr_id] = (qp_idx, ((start, count),), None)
             self._posted += 1
             self.total_wrs_posted += 1
         finally:
@@ -370,9 +428,20 @@ class NativeVerbsModule(PartitionedModule):
             # WR build cost grows with the gather-list length.
             yield self.env.timeout(self.sender.software_cost(
                 host.t_post + 50e-9 * len(runs)))
-            qp = self.send_qps[group % self.plan.n_qps]
+            qp_idx = group % self.plan.n_qps
+            qp = self.send_qps[qp_idx]
             while not qp.has_rdma_slot():
                 yield qp.wait_rdma_slot()
+            if qp.state is not QPState.RTS:
+                if not self._recovery_enabled:
+                    from repro.errors import ChannelDownError
+
+                    raise ChannelDownError(
+                        f"send QP {qp.qp_num} is {qp.state.value} and "
+                        "reconnect is disabled")
+                self._replay.extend(runs)
+                self._note_fault()
+                return
             total = sum(count for _, count in runs) * psize
             if self._staging_head + total > self._staging.nbytes:
                 self._staging_head = 0
@@ -385,14 +454,16 @@ class NativeVerbsModule(PartitionedModule):
                 offset, length = req.buf.range_offset(start, count)
                 sg_list.append(SGE(self.send_mr.addr + offset, length,
                                    self.send_mr.lkey))
+            wr_id = next(_wrid)
             qp.post_send(SendWR(
-                wr_id=next(_wrid),
+                wr_id=wr_id,
                 opcode=Opcode.RDMA_WRITE_WITH_IMM,
                 sg_list=sg_list,
                 remote_addr=self._staging_mr.addr + staging_offset,
                 rkey=self._staging_mr.rkey,
                 imm_data=(self._SG_MARKER << 16) | seq,
             ))
+            self._wr_ranges[wr_id] = (qp_idx, tuple(runs), seq)
             self._posted += 1
             self.total_wrs_posted += 1
         finally:
@@ -419,6 +490,91 @@ class NativeVerbsModule(PartitionedModule):
             req.mark_arrived(start, count)
 
     # ------------------------------------------------------------------
+    # fault recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def _recovery_enabled(self) -> bool:
+        faults = self.cluster.fabric.faults
+        return faults is not None and faults.schedule.allow_reconnect
+
+    def _note_fault(self) -> None:
+        """Record a channel fault and kick the recovery process once."""
+        self._fault_in_round = True
+        if self.cluster.config.part.degrade_on_fault:
+            self._degraded = True
+        if not self._recovering:
+            self._recovering = True
+            self.env.process(self._recover())
+
+    def _handle_send_failure(self, wc):
+        """A send WR died (retry exhaustion or flush): stash for replay.
+
+        The failed WR's ranges move from the in-flight map to the replay
+        list exactly once — ``_posted`` drops with them so the round's
+        acked==posted invariant is restored by the replay posts.
+        """
+        entry = self._wr_ranges.pop(wc.wr_id, None)
+        if entry is not None:
+            _, runs, sg_seq = entry
+            if sg_seq is not None:
+                self._sg_layouts.pop(sg_seq, None)
+            self._posted -= 1
+            self._replay.extend(runs)
+        if not self._recovery_enabled:
+            from repro.errors import RetryExhaustedError
+
+            raise RetryExhaustedError(
+                f"send WR {wc.wr_id} failed with {wc.status.value} on "
+                f"QP {wc.qp_num} and reconnect is disabled")
+        self._note_fault()
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _recover(self):
+        """Walk failed QPs back to RTS and replay unacked work.
+
+        Runs once per fault burst.  The reconnect delay models the
+        out-of-band error handshake and — being far longer than the ACK
+        window — guarantees every in-flight completion has landed before
+        the sweep, so a WR is replayed iff it never completed.
+        """
+        from repro.ib import verbs
+
+        part = self.cluster.config.part
+        counters = self.cluster.fabric.counters
+        while True:
+            yield self.env.timeout(part.reconnect_delay)
+            fixed = set()
+            for idx, (qp_s, qp_r) in enumerate(
+                    zip(self.send_qps, self.recv_qps)):
+                if (qp_s.state is QPState.ERROR
+                        or qp_r.state is QPState.ERROR):
+                    verbs.reconnect_qps(qp_s, qp_r)
+                    fixed.add(idx)
+            self._restock_recv()
+            # WRs that vanished with the QP (dropped in flight, no CQE).
+            for wr_id in [w for w, (idx, _, _) in self._wr_ranges.items()
+                          if idx in fixed]:
+                _, runs, sg_seq = self._wr_ranges.pop(wr_id)
+                if sg_seq is not None:
+                    self._sg_layouts.pop(sg_seq, None)
+                self._posted -= 1
+                self._replay.extend(runs)
+            while self._replay:
+                start, count = self._replay[0]
+                qp = self.send_qps[
+                    (start // self.group_size) % self.plan.n_qps]
+                if qp.state is not QPState.RTS:
+                    break  # died again; take another reconnect lap
+                counters.inc("mpi.replayed_wrs")
+                yield from self._issue_wr(start, count)
+                self._replay.pop(0)
+            if not self._replay:
+                break
+        self._recovering = False
+
+    # ------------------------------------------------------------------
     # progress pollers
     # ------------------------------------------------------------------
 
@@ -431,14 +587,20 @@ class NativeVerbsModule(PartitionedModule):
                 break
             for wc in wcs:
                 yield self.env.timeout(host.t_poll_hit)
-                wc.require_success()
+                if not wc.ok:
+                    yield from self._handle_send_failure(wc)
+                    handled += 1
+                    continue
                 self._acked += 1
+                self._wr_ranges.pop(wc.wr_id, None)
                 handled += 1
         if (not self.send_req.done
                 and self._arrived is not None
                 and self._ready_count == self.send_req.n_partitions
                 and not self._deferred
                 and self._inflight_posts == 0
+                and not self._replay
+                and not self._recovering
                 and self._acked == self._posted
                 and bool(self._sent.all())):
             self.send_req.mark_complete()
@@ -455,13 +617,28 @@ class NativeVerbsModule(PartitionedModule):
                 break
             for wc in wcs:
                 yield self.env.timeout(host.t_poll_hit)
-                wc.require_success()
+                if not wc.ok:
+                    # Flushed receives from a channel failure: recovery
+                    # re-posts them, nothing arrived, nothing to mark.
+                    if (wc.status is WCStatus.WR_FLUSH_ERR
+                            and self._recovery_enabled):
+                        self.cluster.fabric.counters.inc(
+                            "mpi.flushed_recv_wcs")
+                        handled += 1
+                        continue
+                    wc.require_success()
                 if (wc.imm_data >> 16) == self._SG_MARKER:
                     yield from self._handle_scatter_gather(wc.imm_data)
                 else:
                     yield self.env.timeout(part_cfg.t_rx_wr)
                     start, count = decode_immediate(wc.imm_data)
-                    req.mark_arrived(start, count)
+                    if bool(req.arrived[start : start + count].all()):
+                        # Exactly-once safety net: a replayed WR whose
+                        # original did land is dropped here.
+                        self.cluster.fabric.counters.inc(
+                            "mpi.duplicates_dropped")
+                    else:
+                        req.mark_arrived(start, count)
                 handled += 1
         if not req.done and req.all_arrived:
             req.mark_complete()

@@ -78,6 +78,25 @@ class CompletionError(IBError):
     """A work completion was returned with a non-success status."""
 
 
+class TransportError(IBError):
+    """A transport-level delivery failure (retryable or terminal).
+
+    Base class for failures produced by the fault-injection subsystem
+    (:mod:`repro.faults`): lost chunks, NAKed messages, dead links.
+    Callers that can re-establish a channel catch this; callers that
+    cannot treat it as fatal.
+    """
+
+
+class RetryExhaustedError(TransportError):
+    """The NIC gave up retransmitting (``IBV_WC_RETRY_EXC_ERR``).
+
+    Raised through the MPI layer when a work request exhausted the QP's
+    ``retry_cnt`` (ACK timeouts) or ``rnr_retry`` (RNR NAK) budget and
+    the queue pair transitioned to ERROR.
+    """
+
+
 # ---------------------------------------------------------------------------
 # MPI runtime errors
 # ---------------------------------------------------------------------------
@@ -85,6 +104,14 @@ class CompletionError(IBError):
 
 class MPIError(ReproError):
     """Base class for simulated MPI runtime failures."""
+
+
+class ChannelDownError(MPIError):
+    """A communication channel is in a failed state.
+
+    Raised when an operation needs a QP that sits in ERROR (or RESET)
+    and no recovery path is armed to bring it back to RTS.
+    """
 
 
 class MatchingError(MPIError):

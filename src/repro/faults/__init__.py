@@ -1,0 +1,45 @@
+"""Deterministic fault injection and recovery for the simulated fabric.
+
+The seed reproduction models a *perfect* EDR fabric; this subsystem
+makes it a testbed for aggregation under loss.  A
+:class:`~repro.faults.schedule.FaultSchedule` describes scripted events
+(link flaps, latency spikes, NIC stalls, forced receiver-not-ready
+windows) plus probabilistic per-chunk loss/corruption driven by named,
+seeded RNG streams; installing it on a
+:class:`~repro.ib.fabric.Fabric` activates the NIC-level retry and
+NAK machinery of RC queue pairs (``retry_cnt`` / ``rnr_retry`` /
+``timeout``) and the channel-level RESET -> INIT -> RTR -> RTS
+reconnect paths in the MPI modules.
+
+With no schedule installed, nothing changes: the fault hooks are a
+single ``is None`` check and all virtual-time results are bit-identical
+to the fault-free simulator.
+
+See ``docs/FAULTS.md`` for the schedule format and recovery semantics.
+"""
+
+from repro.faults.schedule import (
+    CHUNK_CORRUPT,
+    CHUNK_LOST,
+    CHUNK_OK,
+    ChunkFaults,
+    FaultInjector,
+    FaultSchedule,
+    LatencySpike,
+    LinkFlap,
+    NICStall,
+    RNRWindow,
+)
+
+__all__ = [
+    "CHUNK_CORRUPT",
+    "CHUNK_LOST",
+    "CHUNK_OK",
+    "ChunkFaults",
+    "FaultInjector",
+    "FaultSchedule",
+    "LatencySpike",
+    "LinkFlap",
+    "NICStall",
+    "RNRWindow",
+]

@@ -36,6 +36,15 @@ class Opcode(enum.Enum):
             Opcode.RDMA_READ,
         )
 
+    @property
+    def wc_opcode(self) -> "WCOpcode":
+        """The sender-side completion opcode this WR produces."""
+        if self is Opcode.RDMA_READ:
+            return WCOpcode.RDMA_READ
+        if self in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM):
+            return WCOpcode.RDMA_WRITE
+        return WCOpcode.SEND
+
 
 class QPState(enum.Enum):
     """Queue pair state machine (RESET -> INIT -> RTR -> RTS)."""
@@ -63,6 +72,7 @@ class WCStatus(enum.Enum):
     SUCCESS = "IBV_WC_SUCCESS"
     LOC_PROT_ERR = "IBV_WC_LOC_PROT_ERR"
     REM_ACCESS_ERR = "IBV_WC_REM_ACCESS_ERR"
+    RETRY_EXC_ERR = "IBV_WC_RETRY_EXC_ERR"
     RNR_RETRY_EXC_ERR = "IBV_WC_RNR_RETRY_EXC_ERR"
     WR_FLUSH_ERR = "IBV_WC_WR_FLUSH_ERR"
 

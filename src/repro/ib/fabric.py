@@ -15,7 +15,7 @@ from repro.config import ClusterConfig, NIAGARA
 from repro.errors import ConfigError
 from repro.ib.nic import NIC
 from repro.sim.core import Environment
-from repro.sim.monitor import Trace
+from repro.sim.monitor import Counters, Trace
 
 
 @dataclass(frozen=True)
@@ -41,6 +41,29 @@ class Fabric:
         self.topology = topology
         self._nics: dict[int, NIC] = {}
         self._latency_overrides: dict[tuple[int, int], float] = {}
+        #: Fault/retry/reconnect counters; always present, cheap to bump.
+        self.counters = Counters()
+        #: Installed :class:`repro.faults.FaultInjector`, or None.  The
+        #: NIC engines check this once per WR; when None, the fault-free
+        #: transmit paths run and virtual time is bit-identical to a
+        #: build without the fault subsystem.
+        self.faults = None
+
+    def install_faults(self, schedule, rngs=None):
+        """Arm a :class:`repro.faults.FaultSchedule` on this fabric.
+
+        ``rngs`` defaults to a substream factory derived from the
+        configured root seed, so the same seed + schedule produce a
+        bit-identical fault pattern.  Returns the bound injector.
+        """
+        from repro.faults.schedule import FaultInjector
+        from repro.sim.rng import RngStreams
+
+        if rngs is None:
+            rngs = RngStreams(self.config.seed).spawn("faults")
+        self.faults = FaultInjector(schedule, rngs, self.counters,
+                                    trace=self.trace)
+        return self.faults
 
     def add_node(self, node_id: Optional[int] = None) -> NIC:
         """Create a node with one NIC; returns the NIC."""

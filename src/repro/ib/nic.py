@@ -94,7 +94,12 @@ class NIC:
             yield qp._txq.put((wr, payload))
 
     def _qp_transmitter(self, qp: QueuePair):
-        """Stage 2: in-order transmission of one QP's messages."""
+        """Stage 2: in-order transmission of one QP's messages.
+
+        With no fault schedule installed on the fabric the fault-aware
+        paths are never entered and the virtual-time behaviour is
+        bit-identical to the fault-free simulator.
+        """
         while True:
             wr, payload = yield qp._txq.get()
             if qp.state is QPState.ERROR:
@@ -102,7 +107,10 @@ class NIC:
                 continue
             nbytes = wr.total_length
             remote = self.fabric.nic_at(qp.dest_node)
-            if wr.opcode is Opcode.RDMA_READ:
+            if self.fabric.faults is not None:
+                yield from self._transmit_faulty(qp, wr, payload, nbytes,
+                                                 remote)
+            elif wr.opcode is Opcode.RDMA_READ:
                 yield from self._execute_read(qp, wr, nbytes, remote)
             elif remote is self:
                 yield from self._transmit_loopback(qp, wr, payload, nbytes, remote)
@@ -145,11 +153,253 @@ class NIC:
         self._schedule_delivery(qp, wr, payload, nbytes, remote, arrival,
                                 ack_latency=link.loopback_latency)
 
+    # -- fault-aware send path (entered only with a schedule installed) ----
+
+    def _transmit_faulty(self, qp: QueuePair, wr: SendWR, payload,
+                         nbytes: int, remote: "NIC"):
+        """Fault-aware WQE transmission: stall gate plus retry machinery."""
+        faults = self.fabric.faults
+        until = faults.stall_until(self.node_id, self.env.now)
+        if until > self.env.now:
+            self.fabric.counters.inc("fault.nic_stalls")
+            self.trace.record(self.env.now, "fault.nic_stall", self.node_id,
+                              qp=qp.qp_num, until=until)
+            yield self.env.timeout(until - self.env.now)
+        if qp.state is QPState.ERROR:
+            self._flush_wr(qp, wr)
+        elif wr.opcode is Opcode.RDMA_READ:
+            yield from self._execute_read_faulty(qp, wr, nbytes, remote)
+        elif remote is self:
+            # Loopback never touches the wire; only stalls apply.
+            yield from self._transmit_loopback(qp, wr, payload, nbytes,
+                                               remote)
+        else:
+            yield from self._transmit_wire_faulty(qp, wr, payload, nbytes,
+                                                  remote)
+
+    def _transmit_wire_faulty(self, qp: QueuePair, wr: SendWR, payload,
+                              nbytes: int, remote: "NIC"):
+        """Wire transmission with loss, NAKs, and RC retransmission.
+
+        Go-back-N is approximated at message granularity: a lost or
+        corrupted chunk stops the attempt, the transmitter stalls for
+        the QP's ACK timeout (``4.096us * 2**timeout``), and the whole
+        message retransmits — preserving the RC in-order guarantee the
+        MPI mapping relies on.  ``retry_cnt`` exhaustion completes the
+        WR with ``RETRY_EXC_ERR`` and kills the QP; RNR NAKs back off
+        for the responder's RNR timer and burn ``rnr_retry`` (7 =
+        retry forever, per the IB spec).
+        """
+        from repro.faults.schedule import CHUNK_OK
+
+        cfg = self.config.nic
+        env = self.env
+        faults = self.fabric.faults
+        counters = self.fabric.counters
+        retry_budget = qp.effective_retry_cnt
+        rnr_budget = qp.effective_rnr_retry
+        first_attempt = True
+        while True:
+            if qp.state is QPState.ERROR:
+                self._flush_wr(qp, wr)
+                return
+            if not first_attempt:
+                counters.inc("ib.retransmits")
+                self.trace.record(env.now, "fault.retransmit", self.node_id,
+                                  qp=qp.qp_num, wr_id=wr.wr_id)
+            first_attempt = False
+            latency = self.fabric.latency(self.node_id, remote.node_id)
+            arrival = env.now
+            lost = False
+            for chunk in iter_chunks(nbytes, cfg.wire_chunk):
+                if env.now < qp.next_inject_time:
+                    yield env.timeout(qp.next_inject_time - env.now)
+                grant = self.egress.request()
+                yield grant
+                start = env.now
+                occupancy = chunk_occupancy(chunk, cfg)
+                yield env.timeout(occupancy)
+                self.egress.release(grant)
+                qp.next_inject_time = start + injection_spacing(chunk, cfg)
+                self.bytes_transmitted += chunk
+                self.trace.record(start, "ib.chunk", self.node_id,
+                                  qp=qp.qp_num, nbytes=chunk,
+                                  occupancy=occupancy)
+                if faults.chunk_outcome(self.node_id, remote.node_id,
+                                        start) is not CHUNK_OK:
+                    # The responder drops everything after the missing
+                    # PSN; stop wasting wire time on the rest.
+                    lost = True
+                    break
+                extra = faults.latency_extra(self.node_id, remote.node_id,
+                                             start)
+                arrival = remote.ingress.admit(start, occupancy,
+                                               latency + extra, chunk)
+            if not lost and wr.opcode.consumes_recv_wr:
+                dest_qp = remote.qps.get(qp.dest_qp_num)
+                if (dest_qp is None
+                        or dest_qp.state not in (QPState.RTR, QPState.RTS)):
+                    # Dead responder: no ACK ever comes; timeout path.
+                    lost = True
+                elif (faults.rnr_forced(remote.node_id, dest_qp.qp_num,
+                                        env.now)
+                      or not dest_qp.rq):
+                    # Receiver not ready: the responder NAKs, the
+                    # requester backs off for the advertised RNR timer
+                    # and retransmits the message.
+                    counters.inc("ib.rnr_naks")
+                    self.trace.record(env.now, "fault.rnr_nak", self.node_id,
+                                      qp=qp.qp_num, wr_id=wr.wr_id)
+                    if rnr_budget != 7:  # 7 = infinite, per IB spec
+                        if rnr_budget == 0:
+                            self._complete_error(
+                                qp, wr, WCStatus.RNR_RETRY_EXC_ERR)
+                            return
+                        rnr_budget -= 1
+                    nak_back = max(0.0, arrival + latency - env.now)
+                    yield env.timeout(nak_back + cfg.rnr_timer)
+                    continue
+            if lost:
+                if retry_budget == 0:
+                    self._complete_error(qp, wr, WCStatus.RETRY_EXC_ERR)
+                    return
+                retry_budget -= 1
+                yield env.timeout(qp.ack_timeout)
+                continue
+            self._schedule_delivery(qp, wr, payload, nbytes, remote,
+                                    arrival, ack_latency=latency)
+            return
+
+    def _execute_read_faulty(self, qp: QueuePair, wr: SendWR, nbytes: int,
+                             remote: "NIC"):
+        """RDMA READ with loss on the response stream and RC retries."""
+        from repro.faults.schedule import CHUNK_OK
+
+        cfg = self.config.nic
+        env = self.env
+        faults = self.fabric.faults
+        counters = self.fabric.counters
+        retry_budget = qp.effective_retry_cnt
+        first_attempt = True
+        while True:
+            if qp.state is QPState.ERROR:
+                self._flush_wr(qp, wr)
+                return
+            if not first_attempt:
+                counters.inc("ib.retransmits")
+                self.trace.record(env.now, "fault.retransmit", self.node_id,
+                                  qp=qp.qp_num, wr_id=wr.wr_id)
+            first_attempt = False
+            if remote is self:
+                yield from self._execute_read(qp, wr, nbytes, remote)
+                return
+            latency = self.fabric.latency(self.node_id, remote.node_id)
+            lost = False
+            # Request packet out through our egress.
+            grant = self.egress.request()
+            yield grant
+            yield env.timeout(cfg.t_pkt)
+            self.egress.release(grant)
+            if faults.chunk_outcome(self.node_id, remote.node_id,
+                                    env.now) is not CHUNK_OK:
+                lost = True
+            else:
+                extra = faults.latency_extra(self.node_id, remote.node_id,
+                                             env.now)
+                yield env.timeout(latency + extra + cfg.t_wqe)
+                responder_qp = remote.qps.get(qp.dest_qp_num)
+                if (responder_qp is None or responder_qp.state
+                        not in (QPState.RTR, QPState.RTS)):
+                    lost = True
+                else:
+                    arrival = env.now
+                    for chunk in iter_chunks(nbytes, cfg.wire_chunk):
+                        if env.now < responder_qp.next_inject_time:
+                            yield env.timeout(
+                                responder_qp.next_inject_time - env.now)
+                        grant = remote.egress.request()
+                        yield grant
+                        start = env.now
+                        occupancy = chunk_occupancy(chunk, cfg)
+                        yield env.timeout(occupancy)
+                        remote.egress.release(grant)
+                        responder_qp.next_inject_time = (
+                            start + injection_spacing(chunk, cfg))
+                        remote.bytes_transmitted += chunk
+                        if faults.chunk_outcome(remote.node_id, self.node_id,
+                                                start) is not CHUNK_OK:
+                            lost = True
+                            break
+                        extra = faults.latency_extra(
+                            remote.node_id, self.node_id, start)
+                        arrival = self.ingress.admit(start, occupancy,
+                                                     latency + extra, chunk)
+                    if not lost and arrival > env.now:
+                        yield env.timeout(arrival - env.now)
+            if lost:
+                if retry_budget == 0:
+                    self._complete_error(qp, wr, WCStatus.RETRY_EXC_ERR)
+                    return
+                retry_budget -= 1
+                yield env.timeout(qp.ack_timeout)
+                continue
+            # Response complete: source the bytes and scatter locally,
+            # exactly as the fault-free read does.
+            payload = None
+            if nbytes > 0:
+                responder_qp = remote.qps.get(qp.dest_qp_num)
+                mr = responder_qp.pd.find_mr_by_rkey(wr.rkey)
+                mr.check_remote_read(wr.remote_addr, nbytes, wr.rkey)
+                payload = mr.buffer.read(
+                    mr.local_offset(wr.remote_addr), nbytes)
+            cursor = 0
+            for sge in wr.sg_list:
+                if sge.length == 0:
+                    continue
+                sink = qp.pd.find_mr_by_lkey(sge.lkey)
+                piece = (payload[cursor : cursor + sge.length]
+                         if payload is not None else None)
+                sink.buffer.write(sink.local_offset(sge.addr), piece)
+                cursor += sge.length
+            qp.release_rdma_slot()
+            if wr.signaled:
+                yield env.timeout(cfg.t_cqe)
+                qp.send_cq.push(WorkCompletion(
+                    wr_id=wr.wr_id,
+                    status=WCStatus.SUCCESS,
+                    opcode=WCOpcode.RDMA_READ,
+                    qp_num=qp.qp_num,
+                    byte_len=nbytes,
+                    completed_at=env.now,
+                ))
+            return
+
+    def _complete_error(self, qp: QueuePair, wr: SendWR,
+                        status: WCStatus) -> None:
+        """Terminal transport failure: error CQE, then kill the QP.
+
+        Error completions are always generated, signaled or not (as on
+        hardware), and :meth:`QueuePair.to_error` then flushes both
+        queues and wakes every parked slot waiter.
+        """
+        self.fabric.counters.inc("ib.retry_exhausted")
+        self.trace.record(self.env.now, "ib.qp_error", self.node_id,
+                          qp=qp.qp_num, wr_id=wr.wr_id,
+                          status=status.value)
+        qp.send_cq.push(WorkCompletion(
+            wr_id=wr.wr_id,
+            status=status,
+            opcode=wr.opcode.wc_opcode,
+            qp_num=qp.qp_num,
+            completed_at=self.env.now,
+        ))
+        if qp.state is not QPState.ERROR:
+            qp.to_error()
+
     def _flush_wr(self, qp: QueuePair, wr: SendWR) -> None:
         """Complete a send WR with WR_FLUSH_ERR on a killed QP."""
         if wr.opcode.is_rdma:
-            qp.outstanding_rdma -= 1
-            qp.notify_slot_free()
+            qp.release_rdma_slot()
         if wr.signaled:
             qp.send_cq.push(WorkCompletion(
                 wr_id=wr.wr_id,
@@ -225,8 +475,7 @@ class NIC:
                      if payload is not None else None)
             sink.buffer.write(sink.local_offset(sge.addr), piece)
             cursor += sge.length
-        qp.outstanding_rdma -= 1
-        qp.notify_slot_free()
+        qp.release_rdma_slot()
         if wr.signaled:
             yield env.timeout(cfg.t_cqe)
             qp.send_cq.push(WorkCompletion(
@@ -264,13 +513,22 @@ class NIC:
 
         def delivery_proc(env):
             yield env.timeout(max(0.0, arrival - env.now))
+            if self.fabric.faults is not None:
+                # A QP that died while the message was in flight never
+                # sees an ACK: drop it here and let channel recovery
+                # replay the unacked WR after reconnect.
+                dest_qp = remote.qps.get(qp.dest_qp_num)
+                if (qp.state not in (QPState.RTS, QPState.RTR)
+                        or dest_qp is None
+                        or dest_qp.state not in (QPState.RTR, QPState.RTS)):
+                    self.fabric.counters.inc("fault.deliveries_dropped")
+                    return
             remote._deliver(qp, wr, payload, nbytes)
             # ACK returns to the sender; outstanding slot frees and the
             # sender-side completion (if signaled) is generated.
             yield env.timeout(ack_latency)
             if wr.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM):
-                qp.outstanding_rdma -= 1
-                qp.notify_slot_free()
+                qp.release_rdma_slot()
             if wr.signaled:
                 yield env.timeout(self.config.nic.t_cqe)
                 qp.send_cq.push(WorkCompletion(

@@ -61,6 +61,13 @@ class QueuePair:
         self._slot_waiters: list = []
         #: Per-QP injection rate limiter state (virtual time).
         self.next_inject_time = 0.0
+        #: RC reliability attributes (``IBV_QP_RETRY_CNT`` /
+        #: ``IBV_QP_RNR_RETRY`` / ``IBV_QP_TIMEOUT``).  ``None`` means
+        #: "inherit the NIC config default" — resolved lazily so QPs
+        #: can be re-tuned any time before a fault hits.
+        self.retry_cnt: Optional[int] = None
+        self.rnr_retry: Optional[int] = None
+        self.timeout: Optional[int] = None
         # statistics
         self.posted_sends = 0
         self.posted_recvs = 0
@@ -90,11 +97,12 @@ class QueuePair:
         self.modify(QPState.RTS)
 
     def to_error(self) -> None:
-        """Move to ERROR and flush queued work (``IBV_WC_WR_FLUSH_ERR``).
+        """Move to ERROR and flush both queues (``IBV_WC_WR_FLUSH_ERR``).
 
-        Pending receive WRs flush immediately; send-queue entries flush
-        as the engine picks them up, exactly as the hardware drains a
-        killed QP.
+        As on hardware, a killed QP drains everything: pending receive
+        WRs and queued (not-yet-transmitted) send WRs complete in error,
+        outstanding-RDMA accounting resets, and any process parked in
+        :meth:`wait_rdma_slot` is woken so nothing hangs on a dead QP.
         """
         from repro.ib.constants import WCOpcode, WCStatus
         from repro.ib.wr import WorkCompletion
@@ -110,6 +118,21 @@ class QueuePair:
                 qp_num=self.qp_num,
                 completed_at=now,
             ))
+        if self.sq is not None:
+            for send_wr in self.sq.drain():
+                self.sq_depth -= 1
+                self.send_cq.push(WorkCompletion(
+                    wr_id=send_wr.wr_id,
+                    status=WCStatus.WR_FLUSH_ERR,
+                    opcode=send_wr.opcode.wc_opcode,
+                    qp_num=self.qp_num,
+                    completed_at=now,
+                ))
+        self.outstanding_rdma = 0
+        waiters, self._slot_waiters = self._slot_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(None)
 
     @property
     def connected(self) -> bool:
@@ -165,11 +188,16 @@ class QueuePair:
         return self.outstanding_rdma < self.nic.config.nic.max_outstanding_rdma
 
     def wait_rdma_slot(self):
-        """Event that fires when an outstanding-RDMA slot frees."""
+        """Event that fires when an outstanding-RDMA slot frees.
+
+        Fires immediately on a QP in ERROR: there is nothing left to
+        wait for, and the caller's next ``post_send`` raises, which is
+        how the failure surfaces instead of a hang.
+        """
         from repro.sim.core import Event
 
         ev = Event(self.nic.env)
-        if self.has_rdma_slot():
+        if self.state is QPState.ERROR or self.has_rdma_slot():
             ev.succeed(None)
         else:
             self._slot_waiters.append(ev)
@@ -179,6 +207,44 @@ class QueuePair:
         """NIC side: an ACK freed a slot; wake one waiter."""
         while self._slot_waiters and self.has_rdma_slot():
             self._slot_waiters.pop(0).succeed(None)
+
+    def release_rdma_slot(self) -> None:
+        """Return one outstanding-RDMA credit and wake a parked waiter.
+
+        Guarded: an ACK arriving for a WR that was already flushed by
+        :meth:`to_error` (which zeroes the counter) must not drive the
+        count negative.
+        """
+        if self.outstanding_rdma > 0:
+            self.outstanding_rdma -= 1
+        self.notify_slot_free()
+
+    # -- RC reliability attributes ----------------------------------------
+
+    @property
+    def effective_retry_cnt(self) -> int:
+        """ACK-timeout retry budget (``IBV_QP_RETRY_CNT``)."""
+        if self.retry_cnt is not None:
+            return self.retry_cnt
+        return self.nic.config.nic.retry_cnt
+
+    @property
+    def effective_rnr_retry(self) -> int:
+        """RNR NAK retry budget; 7 means retry forever (IB spec)."""
+        if self.rnr_retry is not None:
+            return self.rnr_retry
+        return self.nic.config.nic.rnr_retry
+
+    @property
+    def ack_timeout(self) -> float:
+        """Seconds before an unacknowledged WR retransmits.
+
+        IB encodes the local ACK timeout as an exponent:
+        ``4.096 us * 2**timeout``.
+        """
+        if self.timeout is not None:
+            return 4.096e-6 * (1 << self.timeout)
+        return self.nic.config.nic.ack_timeout
 
     def consume_recv(self) -> RecvWR:
         """Pop the oldest RQ entry (NIC side, on inbound message)."""

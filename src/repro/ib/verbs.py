@@ -69,6 +69,26 @@ def connect_qps(local: QueuePair, remote: QueuePair) -> None:
     remote.to_rts()
 
 
+def reconnect_qps(local: QueuePair, remote: QueuePair) -> None:
+    """Recover a failed connection: both QPs walk back to RTS.
+
+    Mirrors what a real transport-recovery layer does after a fatal
+    completion: ``ibv_modify_qp`` each end through
+    RESET -> INIT -> RTR -> RTS, preserving QP numbers so registered
+    memory and the peer addressing stay valid.  Queues are empty by
+    this point (the ERROR transition flushed them); the caller re-posts
+    receives and replays unacknowledged sends.
+    """
+    from repro.ib.constants import QPState
+
+    for qp in (local, remote):
+        if qp.state is not QPState.RESET:
+            qp.modify(QPState.RESET)
+    connect_qps(local, remote)
+    if local.nic is not None:
+        local.nic.fabric.counters.inc("ib.reconnects")
+
+
 def ibv_post_send(qp: QueuePair, wr: SendWR) -> None:
     """``ibv_post_send``."""
     qp.post_send(wr)

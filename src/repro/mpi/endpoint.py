@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Any, Optional
 import numpy as np
 
 from repro.errors import MPIError
-from repro.ib.constants import ACCESS_LOCAL, ACCESS_REMOTE_WRITE, Opcode
+from repro.ib.constants import ACCESS_LOCAL, ACCESS_REMOTE_WRITE, Opcode, QPState
 from repro.ib.wr import SGE, RecvWR, SendWR
 from repro.mem.buffer import Buffer
 from repro.sim.resources import Store
@@ -99,6 +99,10 @@ class _PumpItem:
     gap: float = 0.0
     #: Callback fired with the WC when the send completes (acked).
     on_sent: Any = None
+    #: Callback fired with the WC if the send fails terminally (retry
+    #: exhaustion or flush); None means the channel resubmits the item
+    #: itself after reconnecting.
+    on_error: Any = None
     #: True for eager payloads that go through the ring.
     to_ring: bool = False
 
@@ -142,6 +146,9 @@ class Channel:
         self._ring_head = 0
         self._pump_queue = Store(self.env)
         self.env.process(self._pump())
+        # fault-recovery state: items whose WR died, awaiting resubmit.
+        self._failed: list[_PumpItem] = []
+        self._recovering = False
         # statistics
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -189,6 +196,12 @@ class Channel:
             # Software flow control against the 16-outstanding limit.
             while not qp.has_rdma_slot():
                 yield qp.wait_rdma_slot()
+            if qp.state is not QPState.RTS:
+                # Channel failure mid-stream (wait_rdma_slot fires
+                # immediately on an ERROR QP): park the item for the
+                # reconnect walk instead of posting into a dead QP.
+                self.note_failure(item)
+                continue
             if item.to_ring:
                 offset = self.alloc_ring(max(1, header.nbytes))
                 header.ring_offset = offset
@@ -200,6 +213,10 @@ class Channel:
             self.dst._inbound_headers[header.seq] = header
             if item.on_sent is not None:
                 self.src._send_callbacks[wr_id] = item.on_sent
+            # Failure routing: entries live from post to ACK so a WR
+            # that dies — with an error CQE or with its QP — can be
+            # traced back to its message and replayed exactly once.
+            self.src._send_error_callbacks[wr_id] = (self, item, qp)
             wire_bytes = (header.nbytes if item.gather else 0) + HEADER_BYTES
             qp.post_send(SendWR(
                 wr_id=wr_id,
@@ -216,6 +233,51 @@ class Channel:
                                       HEADER_BYTES / self.src.config.nic.line_rate)
             self.messages_sent += 1
             self.bytes_sent += wire_bytes
+
+    # -- fault recovery -----------------------------------------------------
+
+    def note_failure(self, item: _PumpItem) -> None:
+        """Park a dead message and kick the reconnect process once."""
+        self._failed.append(item)
+        if not self._recovering:
+            self._recovering = True
+            self.env.process(self.reconnect())
+
+    def _restock_rq(self, dqp) -> None:
+        while len(dqp.rq) < _RQ_PRESTOCK:
+            dqp.post_recv(RecvWR(wr_id=0))
+
+    def reconnect(self):
+        """Walk failed lanes back to RTS and resubmit dead messages.
+
+        The reconnect delay is far longer than the ACK window, so by
+        the sweep every in-flight completion has landed: whatever is
+        still registered against a failed lane died without a CQE and
+        is replayed here, exactly once.  The reconnect loop, sweep, and
+        resubmits are yield-free, so the pump cannot interleave and
+        double-post.
+        """
+        from repro.ib import verbs
+
+        yield self.env.timeout(self.src.config.part.reconnect_delay)
+        fixed = set()
+        for sqp, dqp in zip(self.src_qps, self.dst_qps):
+            if (sqp.state is QPState.ERROR
+                    or dqp.state is QPState.ERROR):
+                verbs.reconnect_qps(sqp, dqp)
+                self._restock_rq(dqp)
+                fixed.add(sqp)
+        for wr_id, entry in list(self.src._send_error_callbacks.items()):
+            chan = entry[0]
+            if chan is self and entry[2] in fixed:
+                del self.src._send_error_callbacks[wr_id]
+                self.src._send_callbacks.pop(wr_id, None)
+                self._failed.append(entry[1])
+        counters = self.src.cluster.fabric.counters
+        while self._failed:
+            counters.inc("mpi.p2p_resubmits")
+            self.submit(self._failed.pop(0))
+        self._recovering = False
 
 
 def make_seq() -> int:

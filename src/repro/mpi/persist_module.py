@@ -30,6 +30,7 @@ from repro.ib.constants import (
     ACCESS_REMOTE_READ,
     ACCESS_REMOTE_WRITE,
     Opcode,
+    QPState,
 )
 from repro.ib.wr import SGE, SendWR
 from repro.mpi.endpoint import Header, MsgKind, _PumpItem, make_seq
@@ -194,11 +195,17 @@ class PersistModule(PartitionedModule):
         self._read_rail = (self._read_rail + 1) % len(self.read_qps)
         while not requester.has_rdma_slot():
             yield requester.wait_rdma_slot()
+        if requester.state is not QPState.RTS:
+            # The read rail died under us: reconnect and retry later.
+            yield from self._on_read_failed(partition)
+            return
         wr_id = next(_read_wrid)
         # The callback is a generator: the progress poller runs it and
         # charges its completion-handling time.
         self.receiver._send_callbacks[wr_id] = (
             lambda wc, p=partition: self._on_read_complete(p))
+        self.receiver._send_error_callbacks[wr_id] = (
+            None, lambda wc, p=partition: self._on_read_failed(p), requester)
         requester.post_send(SendWR(
             wr_id=wr_id,
             opcode=Opcode.RDMA_READ,
@@ -207,6 +214,24 @@ class PersistModule(PartitionedModule):
             remote_addr=self.send_mr.addr + offset,
             rkey=self.send_mr.rkey,
         ))
+
+    def _on_read_failed(self, partition: int):
+        """A get-zcopy READ died: reconnect the read rails and re-issue.
+
+        Nothing landed (a failed READ scatters no data), so re-issuing
+        after the reconnect walk is exactly-once by construction.
+        """
+        from repro.ib import verbs
+
+        self.cluster.fabric.counters.inc("mpi.read_replays")
+        yield self.env.timeout(self.cluster.config.part.reconnect_delay)
+        for requester in self.read_qps:
+            responder = self.sender.ib.nic.qps.get(requester.dest_qp_num)
+            if (requester.state is QPState.ERROR
+                    or (responder is not None
+                        and responder.state is QPState.ERROR)):
+                verbs.reconnect_qps(requester, responder)
+        yield from self._issue_read(partition)
 
     def _on_read_complete(self, partition: int):
         """Receiver side: data landed; mark it and ack the sender.

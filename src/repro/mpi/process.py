@@ -52,6 +52,9 @@ class MPIProcess:
         self._channels_out: dict[int, Channel] = {}
         self._inbound_headers: dict[int, Header] = {}
         self._send_callbacks: dict[int, object] = {}
+        #: wr_id -> (channel, item, qp) or (None, handler, qp): failure
+        #: routing for in-flight sends (entries removed on success).
+        self._send_error_callbacks: dict[int, tuple] = {}
         self._mr_cache: dict[int, object] = {}
         # p2p matching
         self._posted_recvs: list[P2PRequest] = []
@@ -185,7 +188,9 @@ class MPIProcess:
                 break
             for wc in wcs:
                 yield env.timeout(host.t_poll_hit)
-                if wc.imm_data is not None:
+                if not wc.ok:
+                    yield from self._handle_p2p_failure(wc)
+                elif wc.imm_data is not None:
                     header = self._inbound_headers.pop(wc.imm_data, None)
                     if header is None:
                         raise MPIError(f"no header for seq {wc.imm_data}")
@@ -194,12 +199,52 @@ class MPIProcess:
                     yield from self._handle_inbound(header)
                 else:
                     callback = self._send_callbacks.pop(wc.wr_id, None)
+                    self._send_error_callbacks.pop(wc.wr_id, None)
                     if callback is not None:
                         result = callback(wc)
                         if result is not None and hasattr(result, "send"):
                             yield from result
                 handled += 1
         return handled
+
+    def _handle_p2p_failure(self, wc):
+        """Route a failed completion to recovery, or surface it.
+
+        With no reconnect policy armed the failure escapes as a typed
+        error through whoever is driving the progress engine — the
+        MPI layer never hangs on a dead channel.
+        """
+        from repro.ib.constants import WCStatus
+
+        faults = self.cluster.fabric.faults
+        if faults is None or not faults.schedule.allow_reconnect:
+            from repro.errors import ChannelDownError, RetryExhaustedError
+
+            if wc.status in (WCStatus.RETRY_EXC_ERR,
+                             WCStatus.RNR_RETRY_EXC_ERR):
+                raise RetryExhaustedError(
+                    f"p2p WR {wc.wr_id} failed with {wc.status.value} on "
+                    f"QP {wc.qp_num}")
+            raise ChannelDownError(
+                f"p2p WR {wc.wr_id} flushed ({wc.status.value}) on "
+                f"QP {wc.qp_num}")
+        self.cluster.fabric.counters.inc("mpi.p2p_failures")
+        entry = self._send_error_callbacks.pop(wc.wr_id, None)
+        if entry is None:
+            # A flushed receive prestock entry: the reconnect walk
+            # restocks the RQ, nothing else to do.
+            return
+        chan, payload, _qp = entry
+        self._send_callbacks.pop(wc.wr_id, None)
+        if chan is not None and getattr(payload, "on_error", None) is None:
+            chan.note_failure(payload)
+            return
+        handler = payload.on_error if chan is not None else payload
+        result = handler(wc)
+        if result is not None and hasattr(result, "send"):
+            yield from result
+        return
+        yield  # pragma: no cover - generator protocol
 
     def _handle_inbound(self, header: Header):
         env = self.env

@@ -38,7 +38,7 @@ from repro.sim.events import AllOf, AnyOf, Condition
 from repro.sim.resources import Resource, Store, PriorityResource
 from repro.sim.sync import SimLock, SimSemaphore, AtomicCounter, SimBarrier
 from repro.sim.rng import RngStreams
-from repro.sim.monitor import Trace, TraceRecord
+from repro.sim.monitor import Counters, Trace, TraceRecord
 
 __all__ = [
     "Environment",
@@ -56,6 +56,7 @@ __all__ = [
     "SimBarrier",
     "AtomicCounter",
     "RngStreams",
+    "Counters",
     "Trace",
     "TraceRecord",
     "PRIORITY_URGENT",

@@ -93,3 +93,38 @@ class Trace:
     def categories(self) -> set[str]:
         """Distinct categories present in the trace."""
         return {rec.category for rec in self.records}
+
+
+class Counters:
+    """Named monotonic counters for rare events (faults, retries).
+
+    Unlike :class:`Trace`, counters are always on: incrementing is one
+    dict operation and costs no virtual time, so the fault/recovery
+    machinery can account retransmits, NAKs, and reconnects without a
+    trace being enabled.  Dotted names namespace the producers
+    (``ib.retransmits``, ``fault.chunks_lost``, ``mpi.replayed_wrs``).
+    """
+
+    def __init__(self):
+        self._counts: dict[str, int] = {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero)."""
+        self._counts[name] = self._counts.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (zero if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all counters (a copy)."""
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"<Counters {self._counts!r}>"

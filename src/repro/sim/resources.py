@@ -170,6 +170,21 @@ class Store:
             self._putters.append((ev, item))
         return ev
 
+    def drain(self) -> list:
+        """Remove and return every queued item (no waiter interaction).
+
+        Used when a consumer dies (a QP dropping to ERROR flushes its
+        send queue): parked putters, if any, are admitted first so their
+        items drain too and their events fire.
+        """
+        while self._putters and len(self.items) < self.capacity:
+            putter, item = self._putters.popleft()
+            self.items.append(item)
+            putter.succeed(None)
+        out = list(self.items)
+        self.items.clear()
+        return out
+
     def get(self) -> Event:
         """Withdraw the oldest item; returned event fires with the item."""
         ev = Event(self.env)

@@ -1,0 +1,10 @@
+"""Fixtures for the fault-injection tests."""
+
+import pytest
+
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()

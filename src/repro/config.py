@@ -41,6 +41,12 @@ class NICConfig:
     qp_rate: float = 0.85 * 11.6 * 1024**3
     #: Maximum transmission unit in bytes (the paper tunes at 4 KiB).
     mtu: int = 4 * KiB
+    #: Physical ports (rails) on the HCA.  Each port is an independent
+    #: wire: its own egress serializer and ingress pipe at the full
+    #: line rate.  QPs bind a port at creation; the engine layer builds
+    #: one :class:`~repro.engine.rail.Rail` per port, so a dual-port
+    #: (2-rail) run is this one knob.
+    n_ports: int = 1
     #: Engine time to fetch + parse one WQE and program the DMA.
     #: Pipelined with transmission of the previous WQE on the same QP.
     t_wqe: float = ns(150)
@@ -84,6 +90,8 @@ class NICConfig:
             raise ConfigError("qp_rate cannot exceed line_rate")
         if self.mtu < 256:
             raise ConfigError(f"mtu too small: {self.mtu}")
+        if self.n_ports < 1:
+            raise ConfigError("n_ports must be >= 1")
         if self.max_outstanding_rdma < 1:
             raise ConfigError("max_outstanding_rdma must be >= 1")
         if self.wire_chunk < self.mtu:
@@ -277,6 +285,28 @@ class PartitionedConfig:
 
 
 @dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the transport engine (:mod:`repro.engine`)."""
+
+    #: Fallback park time while a progress wait has no kick pending —
+    #: guards against a missing notification path ever deadlocking a
+    #: wait.  Completion queues kick the engine on every push, so this
+    #: only bounds the rare conditions with no notification hook;
+    #: keeping it long keeps idle waits cheap.
+    idle_fallback: float = us(100)
+    #: Completions drained per ``ibv_poll_cq`` batch in the router's
+    #: canonical polling loop.
+    poll_batch: int = 16
+
+    def validate(self) -> None:
+        if self.idle_fallback <= 0:
+            raise ConfigError(
+                f"idle_fallback must be positive, got {self.idle_fallback}")
+        if self.poll_batch < 1:
+            raise ConfigError("poll_batch must be >= 1")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Top-level simulation configuration."""
 
@@ -285,6 +315,7 @@ class ClusterConfig:
     host: HostConfig = field(default_factory=HostConfig)
     ucx: UCXConfig = field(default_factory=UCXConfig)
     part: PartitionedConfig = field(default_factory=PartitionedConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
     #: Root seed for all random streams.
     seed: int = 1
     #: Collect trace records (disable for large benchmark runs).
@@ -299,6 +330,7 @@ class ClusterConfig:
         self.host.validate()
         self.ucx.validate()
         self.part.validate()
+        self.engine.validate()
         if self.seed < 0:
             raise ConfigError("seed must be >= 0")
 
@@ -323,6 +355,10 @@ _ENV_KNOBS = {
                               lambda v: float(v) * 1024**3),
     "REPRO_QP_RATE_FRACTION": ("nic", "_qp_fraction", float),
     "REPRO_MTU": ("nic", "mtu", int),
+    "REPRO_NIC_PORTS": ("nic", "n_ports", int),
+    "REPRO_IDLE_FALLBACK_US": ("engine", "idle_fallback",
+                               lambda v: float(v) * 1e-6),
+    "REPRO_POLL_BATCH": ("engine", "poll_batch", int),
     "REPRO_WIRE_CHUNK": ("nic", "wire_chunk", int),
     "REPRO_RETRY_CNT": ("nic", "retry_cnt", int),
     "REPRO_RNR_RETRY": ("nic", "rnr_retry", int),
@@ -349,7 +385,8 @@ def config_from_env(base: ClusterConfig = NIAGARA,
     import os
 
     env = environ if environ is not None else os.environ
-    sections: dict = {"nic": {}, "link": {}, "host": {}, "part": {}}
+    sections: dict = {"nic": {}, "link": {}, "host": {}, "part": {},
+                      "engine": {}}
     top: dict = {}
     qp_fraction = None
     for name, (section, fieldname, parse) in _ENV_KNOBS.items():
@@ -382,6 +419,8 @@ def config_from_env(base: ClusterConfig = NIAGARA,
         top["host"] = replace(base.host, **sections["host"])
     if sections["part"]:
         top["part"] = replace(base.part, **sections["part"])
+    if sections["engine"]:
+        top["engine"] = replace(base.engine, **sections["engine"])
     config = base.with_changes(**top) if top else base
     config.validate()
     return config

@@ -12,8 +12,10 @@ Maps a matched Psend/Precv pair directly onto InfiniBand resources:
 * the δ-timer path (Section IV-D), when armed, lets the first arriver
   of a group sleep up to δ and flush the arrived runs early.
 
-WRs for a group always use QP ``group % n_qps``; software flow control
-parks a poster when a QP's 16-outstanding-RDMA budget is exhausted.
+WRs for a group always use the same QP: rail ``group % n_rails`` (one
+rail per NIC port), QP ``group % n_qps`` within it — striped scheduling
+through :class:`repro.engine.Rail`.  Software flow control parks a
+poster when a QP's 16-outstanding-RDMA budget is exhausted.
 """
 
 from __future__ import annotations
@@ -25,6 +27,13 @@ import numpy as np
 
 from repro.core.aggregators import AggregationPlan, Aggregator
 from repro.core.immediate import decode_immediate, encode_immediate
+from repro.engine import (
+    CreditManager,
+    ReplayTracker,
+    build_rails,
+    reconnect_walk,
+    restock,
+)
 from repro.errors import PartitionError
 from repro.ib.constants import (
     ACCESS_LOCAL,
@@ -33,7 +42,7 @@ from repro.ib.constants import (
     QPState,
     WCStatus,
 )
-from repro.ib.wr import SGE, RecvWR, SendWR
+from repro.ib.wr import SGE, SendWR
 from repro.mpi.modules import ModuleSpec, PartitionedModule
 from repro.sim.sync import AtomicCounter
 
@@ -53,7 +62,10 @@ class NativeVerbsModule(PartitionedModule):
         self.receiver: "MPIProcess" = recv_req.process
         self.plan: Optional[AggregationPlan] = None
         self.group_size = 0
-        # set up in setup()
+        # set up in setup(): one rail per NIC port, plus flat QP lists
+        # in creation order for introspection and the recovery walk.
+        self.send_rails = []
+        self.recv_rails = []
         self.send_qps = []
         self.recv_qps = []
         self.send_cq = None
@@ -78,19 +90,23 @@ class NativeVerbsModule(PartitionedModule):
         # Forum's MPI_Pbuf_prepare proposal (Section IV-A).  The
         # receiver's Start grants a credit that reaches the sender one
         # fabric latency later; posts issued before it are deferred.
-        self._armed_round = 0
-        self._deferred: list[tuple[int, int]] = []
+        self._credit = CreditManager(self.env, self._flush_deferred)
         # adaptive-delta state
         self.current_delta: Optional[float] = None
         self._round_pready_times: Optional[list] = None
         #: δ used each round (diagnostics for the auto-tuner).
         self.delta_history: list[float] = []
-        # fault-recovery state.  _wr_ranges maps every in-flight WR to
-        # (qp index, runs, sg_seq) so a WR that dies — by error CQE or
-        # by vanishing with a killed QP — can be replayed exactly once.
-        self._wr_ranges: dict[int, tuple] = {}
-        self._replay: list[tuple[int, int]] = []
-        self._recovering = False
+        # Fault recovery: the tracker maps every in-flight WR to its QP
+        # and (runs, sg_seq) payload, so a WR that dies — by error CQE
+        # or by vanishing with a killed QP — is replayed exactly once.
+        self._tracker = ReplayTracker(
+            self.env, cluster.fabric, cluster.config.part.reconnect_delay)
+        self._tracker.bind(
+            recover_walk=self._recover_walk,
+            restock=self._restock_recv,
+            on_dropped=self._drop_wr,
+            can_replay=self._can_replay,
+            replay_unit=self._replay_unit)
         #: Degraded aggregation: post per-partition instead of grouped
         #: runs while the channel is suspect (cleared after a clean round).
         self._degraded = False
@@ -116,14 +132,11 @@ class NativeVerbsModule(PartitionedModule):
         recv_pd = self.receiver.ib.alloc_pd()
         self.send_cq = self.sender.ib.create_cq(capacity=1 << 20)
         self.recv_cq = self.receiver.ib.create_cq(capacity=1 << 20)
-        from repro.ib import verbs
-
-        for _ in range(self.plan.n_qps):
-            qp_s = self.sender.ib.create_qp(send_pd, self.send_cq, self.send_cq)
-            qp_r = self.receiver.ib.create_qp(recv_pd, self.recv_cq, self.recv_cq)
-            verbs.connect_qps(qp_s, qp_r)
-            self.send_qps.append(qp_s)
-            self.recv_qps.append(qp_r)
+        self.send_rails, self.recv_rails = build_rails(
+            self.sender.ib, self.receiver.ib, send_pd, recv_pd,
+            self.send_cq, self.recv_cq, self.plan.n_qps, config.nic.n_ports)
+        self.send_qps = [qp for rail in self.send_rails for qp in rail]
+        self.recv_qps = [qp for rail in self.recv_rails for qp in rail]
         self.send_mr = send_pd.reg_mr(send_req.buf, ACCESS_LOCAL)
         self.recv_mr = recv_pd.reg_mr(
             recv_req.buf, ACCESS_LOCAL | ACCESS_REMOTE_WRITE)
@@ -141,10 +154,20 @@ class NativeVerbsModule(PartitionedModule):
             self._staging_head = 0
             self._sg_layouts: dict[int, tuple] = {}
             self._sg_seq = 0
-        self.sender.engine.register(self._send_poller)
-        self.sender.engine.watch_cq(self.send_cq)
-        self.receiver.engine.register(self._recv_poller)
-        self.receiver.engine.watch_cq(self.recv_cq)
+        self.sender.router.bind(
+            self.send_cq, self._on_send_wc, on_idle=self._check_send_complete)
+        self.receiver.router.bind(
+            self.recv_cq, self._on_recv_wc, on_idle=self._check_recv_complete)
+
+    # -- compat: round-credit state now lives on the CreditManager ------
+
+    @property
+    def _armed_round(self) -> int:
+        return self._credit.armed_round
+
+    @property
+    def _deferred(self) -> list:
+        return self._credit.deferred
 
     # ------------------------------------------------------------------
     # round management
@@ -179,7 +202,8 @@ class NativeVerbsModule(PartitionedModule):
         self._posted = 0
         self._acked = 0
         # Degradation hysteresis: one clean round restores aggregation.
-        if self._degraded and not self._fault_in_round and not self._recovering:
+        if (self._degraded and not self._fault_in_round
+                and not self._tracker.recovering):
             self._degraded = False
         self._fault_in_round = False
         return
@@ -197,13 +221,13 @@ class NativeVerbsModule(PartitionedModule):
             # per-partition sends; stock for that worst case so
             # replays never starve the RQ into an RNR livelock.
             per_group_max = self.group_size
-        targets = [0] * self.plan.n_qps
+        n_rails = len(self.recv_rails)
+        targets = [[0] * self.plan.n_qps for _ in range(n_rails)]
         for g in range(self.plan.n_transport):
-            targets[g % self.plan.n_qps] += per_group_max
-        for qp, target in zip(self.recv_qps, targets):
-            deficit = target - len(qp.rq)
-            for _ in range(max(0, deficit)):
-                qp.post_recv(RecvWR(wr_id=next(_wrid)))
+            targets[g % n_rails][g % self.plan.n_qps] += per_group_max
+        for rail, rail_targets in zip(self.recv_rails, targets):
+            for qp, target in zip(rail, rail_targets):
+                restock(qp, target, lambda: next(_wrid))
 
     def start_recv(self, req):
         """Pre-post this round's receive WRs (Section IV-A).
@@ -213,18 +237,9 @@ class NativeVerbsModule(PartitionedModule):
         """
         self._restock_recv()
         # Grant the sender this round's credit, one fabric latency away.
-        env = self.env
-        fabric = self.cluster.fabric
-        flight = fabric.latency(self.receiver.node_id, self.sender.node_id)
-        round_number = req.round
-
-        def credit(env):
-            yield env.timeout(flight)
-            self._armed_round = max(self._armed_round, round_number)
-            if self._deferred:
-                yield from self._flush_deferred()
-
-        env.process(credit(env))
+        flight = self.cluster.fabric.latency(
+            self.receiver.node_id, self.sender.node_id)
+        self._credit.grant(req.round, flight)
         return
         yield  # pragma: no cover - generator protocol
 
@@ -334,8 +349,8 @@ class NativeVerbsModule(PartitionedModule):
         partition, not a whole transport group.
         """
         self._sent[start : start + count] = True
-        if self._armed_round < self.send_req.round:
-            self._deferred.append((start, count))
+        if not self._credit.ready(self.send_req.round):
+            self._credit.defer((start, count))
             return
         if (self._degraded and count > 1
                 and self.cluster.config.part.degrade_on_fault):
@@ -355,10 +370,11 @@ class NativeVerbsModule(PartitionedModule):
         nothing deferred reads as round-complete — letting the round
         re-arm under an in-flight flush and corrupting the counters.
         """
-        while self._deferred:
-            start, count = self._deferred[0]
+        deferred = self._credit.deferred
+        while deferred:
+            start, count = deferred[0]
             yield from self._issue_wr(start, count)
-            self._deferred.pop(0)
+            deferred.pop(0)
 
     def _issue_wr(self, start: int, count: int):
         """Build and post one WR; guarded against premature completion.
@@ -374,10 +390,8 @@ class NativeVerbsModule(PartitionedModule):
             yield self.env.timeout(
                 self.sender.software_cost(self.sender.config.host.t_post))
             group = start // self.group_size
-            qp_idx = group % self.plan.n_qps
-            qp = self.send_qps[qp_idx]
-            while not qp.has_rdma_slot():
-                yield qp.wait_rdma_slot()
+            rail = self.send_rails[group % len(self.send_rails)]
+            qp = yield from rail.acquire(group)
             if qp.state is not QPState.RTS:
                 # The channel died under us (wait_rdma_slot fires
                 # immediately on an ERROR QP).  Park the range: channel
@@ -388,7 +402,7 @@ class NativeVerbsModule(PartitionedModule):
                     raise ChannelDownError(
                         f"send QP {qp.qp_num} is {qp.state.value} and "
                         "reconnect is disabled")
-                self._replay.append((start, count))
+                self._tracker.queue([(start, count)])
                 self._note_fault()
                 return
             offset, length = req.buf.range_offset(start, count)
@@ -402,7 +416,7 @@ class NativeVerbsModule(PartitionedModule):
                 rkey=self.recv_mr.rkey,
                 imm_data=encode_immediate(start, count),
             ))
-            self._wr_ranges[wr_id] = (qp_idx, ((start, count),), None)
+            self._tracker.track(wr_id, qp, (((start, count),), None))
             self._posted += 1
             self.total_wrs_posted += 1
         finally:
@@ -417,10 +431,10 @@ class NativeVerbsModule(PartitionedModule):
         psize = req.partition_size
         for start, count in runs:
             self._sent[start : start + count] = True
-        if self._armed_round < self.send_req.round:
+        if not self._credit.ready(self.send_req.round):
             # Credit not here yet: queue as plain runs (the grouping
             # opportunity has passed by the time the credit lands).
-            self._deferred.extend(runs)
+            self._credit.defer_all(runs)
             return
         host = self.sender.config.host
         self._inflight_posts += 1
@@ -428,10 +442,8 @@ class NativeVerbsModule(PartitionedModule):
             # WR build cost grows with the gather-list length.
             yield self.env.timeout(self.sender.software_cost(
                 host.t_post + 50e-9 * len(runs)))
-            qp_idx = group % self.plan.n_qps
-            qp = self.send_qps[qp_idx]
-            while not qp.has_rdma_slot():
-                yield qp.wait_rdma_slot()
+            rail = self.send_rails[group % len(self.send_rails)]
+            qp = yield from rail.acquire(group)
             if qp.state is not QPState.RTS:
                 if not self._recovery_enabled:
                     from repro.errors import ChannelDownError
@@ -439,7 +451,7 @@ class NativeVerbsModule(PartitionedModule):
                     raise ChannelDownError(
                         f"send QP {qp.qp_num} is {qp.state.value} and "
                         "reconnect is disabled")
-                self._replay.extend(runs)
+                self._tracker.queue(runs)
                 self._note_fault()
                 return
             total = sum(count for _, count in runs) * psize
@@ -463,7 +475,7 @@ class NativeVerbsModule(PartitionedModule):
                 rkey=self._staging_mr.rkey,
                 imm_data=(self._SG_MARKER << 16) | seq,
             ))
-            self._wr_ranges[wr_id] = (qp_idx, tuple(runs), seq)
+            self._tracker.track(wr_id, qp, (tuple(runs), seq))
             self._posted += 1
             self.total_wrs_posted += 1
         finally:
@@ -495,17 +507,14 @@ class NativeVerbsModule(PartitionedModule):
 
     @property
     def _recovery_enabled(self) -> bool:
-        faults = self.cluster.fabric.faults
-        return faults is not None and faults.schedule.allow_reconnect
+        return self._tracker.recovery_enabled
 
     def _note_fault(self) -> None:
         """Record a channel fault and kick the recovery process once."""
         self._fault_in_round = True
         if self.cluster.config.part.degrade_on_fault:
             self._degraded = True
-        if not self._recovering:
-            self._recovering = True
-            self.env.process(self._recover())
+        self._tracker.kick()
 
     def _handle_send_failure(self, wc):
         """A send WR died (retry exhaustion or flush): stash for replay.
@@ -514,13 +523,10 @@ class NativeVerbsModule(PartitionedModule):
         list exactly once — ``_posted`` drops with them so the round's
         acked==posted invariant is restored by the replay posts.
         """
-        entry = self._wr_ranges.pop(wc.wr_id, None)
+        entry = self._tracker.fail(wc.wr_id)
         if entry is not None:
-            _, runs, sg_seq = entry
-            if sg_seq is not None:
-                self._sg_layouts.pop(sg_seq, None)
-            self._posted -= 1
-            self._replay.extend(runs)
+            _, payload = entry
+            self._tracker.queue(self._drop_wr(payload))
         if not self._recovery_enabled:
             from repro.errors import RetryExhaustedError
 
@@ -531,118 +537,80 @@ class NativeVerbsModule(PartitionedModule):
         return
         yield  # pragma: no cover - generator protocol
 
-    def _recover(self):
-        """Walk failed QPs back to RTS and replay unacked work.
+    def _drop_wr(self, payload) -> tuple:
+        """Undo a dead WR's accounting; returns its replayable runs."""
+        runs, sg_seq = payload
+        if sg_seq is not None:
+            self._sg_layouts.pop(sg_seq, None)
+        self._posted -= 1
+        return runs
 
-        Runs once per fault burst.  The reconnect delay models the
-        out-of-band error handshake and — being far longer than the ACK
-        window — guarantees every in-flight completion has landed before
-        the sweep, so a WR is replayed iff it never completed.
-        """
-        from repro.ib import verbs
+    def _recover_walk(self) -> set:
+        """Walk failed QP pairs back to RTS; tokens are the send QPs."""
+        pairs = ((qp_s, qp_s, qp_r)
+                 for qp_s, qp_r in zip(self.send_qps, self.recv_qps))
+        return reconnect_walk(pairs)
 
-        part = self.cluster.config.part
-        counters = self.cluster.fabric.counters
-        while True:
-            yield self.env.timeout(part.reconnect_delay)
-            fixed = set()
-            for idx, (qp_s, qp_r) in enumerate(
-                    zip(self.send_qps, self.recv_qps)):
-                if (qp_s.state is QPState.ERROR
-                        or qp_r.state is QPState.ERROR):
-                    verbs.reconnect_qps(qp_s, qp_r)
-                    fixed.add(idx)
-            self._restock_recv()
-            # WRs that vanished with the QP (dropped in flight, no CQE).
-            for wr_id in [w for w, (idx, _, _) in self._wr_ranges.items()
-                          if idx in fixed]:
-                _, runs, sg_seq = self._wr_ranges.pop(wr_id)
-                if sg_seq is not None:
-                    self._sg_layouts.pop(sg_seq, None)
-                self._posted -= 1
-                self._replay.extend(runs)
-            while self._replay:
-                start, count = self._replay[0]
-                qp = self.send_qps[
-                    (start // self.group_size) % self.plan.n_qps]
-                if qp.state is not QPState.RTS:
-                    break  # died again; take another reconnect lap
-                counters.inc("mpi.replayed_wrs")
-                yield from self._issue_wr(start, count)
-                self._replay.pop(0)
-            if not self._replay:
-                break
-        self._recovering = False
+    def _can_replay(self, unit) -> bool:
+        start, _ = unit
+        group = start // self.group_size
+        rail = self.send_rails[group % len(self.send_rails)]
+        return rail.peek(group).state is QPState.RTS
+
+    def _replay_unit(self, unit):
+        start, count = unit
+        yield from self._issue_wr(start, count)
 
     # ------------------------------------------------------------------
-    # progress pollers
+    # completion handling (dispatched by the CompletionRouter)
     # ------------------------------------------------------------------
 
-    def _send_poller(self):
-        host = self.sender.config.host
-        handled = 0
-        while True:
-            wcs = self.send_cq.poll(16)
-            if not wcs:
-                break
-            for wc in wcs:
-                yield self.env.timeout(host.t_poll_hit)
-                if not wc.ok:
-                    yield from self._handle_send_failure(wc)
-                    handled += 1
-                    continue
-                self._acked += 1
-                self._wr_ranges.pop(wc.wr_id, None)
-                handled += 1
+    def _on_send_wc(self, wc):
+        if not wc.ok:
+            yield from self._handle_send_failure(wc)
+            return
+        self._acked += 1
+        self._tracker.complete(wc.wr_id)
+
+    def _check_send_complete(self) -> None:
         if (not self.send_req.done
                 and self._arrived is not None
                 and self._ready_count == self.send_req.n_partitions
-                and not self._deferred
+                and not self._credit.deferred
                 and self._inflight_posts == 0
-                and not self._replay
-                and not self._recovering
+                and not self._tracker.replay
+                and not self._tracker.recovering
                 and self._acked == self._posted
                 and bool(self._sent.all())):
             self.send_req.mark_complete()
-        return handled
 
-    def _recv_poller(self):
-        host = self.receiver.config.host
+    def _on_recv_wc(self, wc):
         part_cfg = self.receiver.config.part
         req = self.recv_req
-        handled = 0
-        while True:
-            wcs = self.recv_cq.poll(16)
-            if not wcs:
-                break
-            for wc in wcs:
-                yield self.env.timeout(host.t_poll_hit)
-                if not wc.ok:
-                    # Flushed receives from a channel failure: recovery
-                    # re-posts them, nothing arrived, nothing to mark.
-                    if (wc.status is WCStatus.WR_FLUSH_ERR
-                            and self._recovery_enabled):
-                        self.cluster.fabric.counters.inc(
-                            "mpi.flushed_recv_wcs")
-                        handled += 1
-                        continue
-                    wc.require_success()
-                if (wc.imm_data >> 16) == self._SG_MARKER:
-                    yield from self._handle_scatter_gather(wc.imm_data)
-                else:
-                    yield self.env.timeout(part_cfg.t_rx_wr)
-                    start, count = decode_immediate(wc.imm_data)
-                    if bool(req.arrived[start : start + count].all()):
-                        # Exactly-once safety net: a replayed WR whose
-                        # original did land is dropped here.
-                        self.cluster.fabric.counters.inc(
-                            "mpi.duplicates_dropped")
-                    else:
-                        req.mark_arrived(start, count)
-                handled += 1
+        if not wc.ok:
+            # Flushed receives from a channel failure: recovery
+            # re-posts them, nothing arrived, nothing to mark.
+            if (wc.status is WCStatus.WR_FLUSH_ERR
+                    and self._recovery_enabled):
+                self.cluster.fabric.counters.inc("mpi.flushed_recv_wcs")
+                return
+            wc.require_success()
+        if (wc.imm_data >> 16) == self._SG_MARKER:
+            yield from self._handle_scatter_gather(wc.imm_data)
+        else:
+            yield self.env.timeout(part_cfg.t_rx_wr)
+            start, count = decode_immediate(wc.imm_data)
+            if bool(req.arrived[start : start + count].all()):
+                # Exactly-once safety net: a replayed WR whose
+                # original did land is dropped here.
+                self.cluster.fabric.counters.inc("mpi.duplicates_dropped")
+            else:
+                req.mark_arrived(start, count)
+
+    def _check_recv_complete(self) -> None:
+        req = self.recv_req
         if not req.done and req.all_arrived:
             req.mark_complete()
-        return handled
 
 
 class NativeSpec(ModuleSpec):

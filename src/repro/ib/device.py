@@ -46,6 +46,7 @@ class Context:
         recv_cq: CompletionQueue,
         max_send_wr: int = 1024,
         max_recv_wr: int = 4096,
+        port: int = 0,
     ) -> QueuePair:
         """``ibv_create_qp``: a fresh RC QP registered with the NIC."""
         qp = QueuePair(
@@ -55,6 +56,7 @@ class Context:
             qp_num=self.nic.next_qp_num(),
             max_send_wr=max_send_wr,
             max_recv_wr=max_recv_wr,
+            port=port,
         )
         self.nic.register_qp(qp)
         return qp

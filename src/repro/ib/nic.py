@@ -38,9 +38,16 @@ class NIC:
         self.node_id = node_id
         self.config = config
         self.trace = trace if trace is not None else Trace(enabled=False)
-        #: Egress port: capacity-1 serializer shared by all QPs.
-        self.egress = Resource(env, capacity=1)
-        self.ingress = IngressPort()
+        #: Per-port wires.  Each physical port is an independent link:
+        #: a capacity-1 egress serializer shared by the QPs bound to it,
+        #: and an ingress pipe of its own.  ``egress``/``ingress`` alias
+        #: port 0 so single-port code (and its event ordering) is
+        #: untouched.
+        n_ports = config.nic.n_ports
+        self.ports = [Resource(env, capacity=1) for _ in range(n_ports)]
+        self.ingress_ports = [IngressPort() for _ in range(n_ports)]
+        self.egress = self.ports[0]
+        self.ingress = self.ingress_ports[0]
         self._qp_numbers = itertools.count(node_id * 1_000_000 + 1)
         self.qps: dict[int, QueuePair] = {}
         # statistics
@@ -69,6 +76,21 @@ class NIC:
 
     def next_qp_num(self) -> int:
         return next(self._qp_numbers)
+
+    # -- port selection -----------------------------------------------------
+
+    def egress_for(self, qp: QueuePair) -> Resource:
+        """The egress serializer of the port ``qp`` is bound to."""
+        return self.ports[qp.port % len(self.ports)]
+
+    def ingress_for(self, qp: QueuePair) -> IngressPort:
+        """The ingress pipe ``qp``'s traffic lands on at this NIC.
+
+        Keyed by the *sending* QP's port: both ends of a connection
+        bind the same port index, so this is the receiving port too
+        (modulo the local port count, for asymmetric NICs).
+        """
+        return self.ingress_ports[qp.port % len(self.ingress_ports)]
 
     # -- send path ----------------------------------------------------------
 
@@ -121,24 +143,26 @@ class NIC:
                        remote: "NIC"):
         cfg = self.config.nic
         latency = self.fabric.latency(self.node_id, remote.node_id)
+        egress = self.egress_for(qp)
+        ingress = remote.ingress_for(qp)
         arrival = self.env.now
         for chunk in iter_chunks(nbytes, cfg.wire_chunk):
             # Per-QP injection rate limit: spaces chunk starts so a lone
             # QP tops out at qp_rate; gaps are usable by other QPs.
             if self.env.now < qp.next_inject_time:
                 yield self.env.timeout(qp.next_inject_time - self.env.now)
-            grant = self.egress.request()
+            grant = egress.request()
             yield grant
             start = self.env.now
             occupancy = chunk_occupancy(chunk, cfg)
             yield self.env.timeout(occupancy)
-            self.egress.release(grant)
+            egress.release(grant)
             qp.next_inject_time = start + injection_spacing(chunk, cfg)
             self.bytes_transmitted += chunk
             self.trace.record(start, "ib.chunk", self.node_id,
                               qp=qp.qp_num, nbytes=chunk,
                               occupancy=occupancy)
-            arrival = remote.ingress.admit(start, occupancy, latency, chunk)
+            arrival = ingress.admit(start, occupancy, latency, chunk)
         self._schedule_delivery(qp, wr, payload, nbytes, remote,
                                 arrival, ack_latency=latency)
 
@@ -198,6 +222,8 @@ class NIC:
         counters = self.fabric.counters
         retry_budget = qp.effective_retry_cnt
         rnr_budget = qp.effective_rnr_retry
+        egress = self.egress_for(qp)
+        ingress = remote.ingress_for(qp)
         first_attempt = True
         while True:
             if qp.state is QPState.ERROR:
@@ -214,12 +240,12 @@ class NIC:
             for chunk in iter_chunks(nbytes, cfg.wire_chunk):
                 if env.now < qp.next_inject_time:
                     yield env.timeout(qp.next_inject_time - env.now)
-                grant = self.egress.request()
+                grant = egress.request()
                 yield grant
                 start = env.now
                 occupancy = chunk_occupancy(chunk, cfg)
                 yield env.timeout(occupancy)
-                self.egress.release(grant)
+                egress.release(grant)
                 qp.next_inject_time = start + injection_spacing(chunk, cfg)
                 self.bytes_transmitted += chunk
                 self.trace.record(start, "ib.chunk", self.node_id,
@@ -233,8 +259,8 @@ class NIC:
                     break
                 extra = faults.latency_extra(self.node_id, remote.node_id,
                                              start)
-                arrival = remote.ingress.admit(start, occupancy,
-                                               latency + extra, chunk)
+                arrival = ingress.admit(start, occupancy,
+                                        latency + extra, chunk)
             if not lost and wr.opcode.consumes_recv_wr:
                 dest_qp = remote.qps.get(qp.dest_qp_num)
                 if (dest_qp is None
@@ -296,10 +322,11 @@ class NIC:
             latency = self.fabric.latency(self.node_id, remote.node_id)
             lost = False
             # Request packet out through our egress.
-            grant = self.egress.request()
+            egress = self.egress_for(qp)
+            grant = egress.request()
             yield grant
             yield env.timeout(cfg.t_pkt)
-            self.egress.release(grant)
+            egress.release(grant)
             if faults.chunk_outcome(self.node_id, remote.node_id,
                                     env.now) is not CHUNK_OK:
                 lost = True
@@ -313,16 +340,18 @@ class NIC:
                     lost = True
                 else:
                     arrival = env.now
+                    resp_egress = remote.egress_for(responder_qp)
+                    ingress = self.ingress_for(qp)
                     for chunk in iter_chunks(nbytes, cfg.wire_chunk):
                         if env.now < responder_qp.next_inject_time:
                             yield env.timeout(
                                 responder_qp.next_inject_time - env.now)
-                        grant = remote.egress.request()
+                        grant = resp_egress.request()
                         yield grant
                         start = env.now
                         occupancy = chunk_occupancy(chunk, cfg)
                         yield env.timeout(occupancy)
-                        remote.egress.release(grant)
+                        resp_egress.release(grant)
                         responder_qp.next_inject_time = (
                             start + injection_spacing(chunk, cfg))
                         remote.bytes_transmitted += chunk
@@ -332,8 +361,8 @@ class NIC:
                             break
                         extra = faults.latency_extra(
                             remote.node_id, self.node_id, start)
-                        arrival = self.ingress.admit(start, occupancy,
-                                                     latency + extra, chunk)
+                        arrival = ingress.admit(start, occupancy,
+                                                latency + extra, chunk)
                     if not lost and arrival > env.now:
                         yield env.timeout(arrival - env.now)
             if lost:
@@ -431,10 +460,11 @@ class NIC:
         else:
             latency = self.fabric.latency(self.node_id, remote.node_id)
             # Request packet out through our egress.
-            grant = self.egress.request()
+            egress = self.egress_for(qp)
+            grant = egress.request()
             yield grant
             yield env.timeout(cfg.t_pkt)
-            self.egress.release(grant)
+            egress.release(grant)
             # Flight plus responder WQE handling.
             yield env.timeout(latency + cfg.t_wqe)
             responder_qp = remote.qps.get(qp.dest_qp_num)
@@ -442,20 +472,22 @@ class NIC:
                 raise ProtectionError(
                     f"no QP {qp.dest_qp_num} on node {remote.node_id}")
             arrival = env.now
+            resp_egress = remote.egress_for(responder_qp)
+            ingress = self.ingress_for(qp)
             for chunk in iter_chunks(nbytes, cfg.wire_chunk):
                 if env.now < responder_qp.next_inject_time:
                     yield env.timeout(
                         responder_qp.next_inject_time - env.now)
-                grant = remote.egress.request()
+                grant = resp_egress.request()
                 yield grant
                 start = env.now
                 occupancy = chunk_occupancy(chunk, cfg)
                 yield env.timeout(occupancy)
-                remote.egress.release(grant)
+                resp_egress.release(grant)
                 responder_qp.next_inject_time = (
                     start + injection_spacing(chunk, cfg))
                 remote.bytes_transmitted += chunk
-                arrival = self.ingress.admit(start, occupancy, latency, chunk)
+                arrival = ingress.admit(start, occupancy, latency, chunk)
             if arrival > env.now:
                 yield env.timeout(arrival - env.now)
         # Source the bytes from the responder's memory and scatter them

@@ -36,6 +36,7 @@ class QueuePair:
         qp_num: int,
         max_send_wr: int = 1024,
         max_recv_wr: int = 4096,
+        port: int = 0,
     ):
         self.pd = pd
         self.send_cq = send_cq
@@ -43,6 +44,10 @@ class QueuePair:
         self.qp_num = qp_num
         self.max_send_wr = max_send_wr
         self.max_recv_wr = max_recv_wr
+        #: NIC port (rail) this QP's traffic uses.  Both ends of a
+        #: connection bind the same port index (``ibv_modify_qp``'s
+        #: ``IBV_QP_PORT`` in the real API).
+        self.port = port
         self.state = QPState.RESET
         #: Destination set when connected: (node_id, remote qp_num).
         self.dest_node: Optional[int] = None

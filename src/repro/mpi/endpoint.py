@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
+from repro.engine import Rail, RailPolicy, ReplayTracker, reconnect_walk, restock
 from repro.errors import MPIError
 from repro.ib.constants import ACCESS_LOCAL, ACCESS_REMOTE_WRITE, Opcode, QPState
 from repro.ib.wr import SGE, RecvWR, SendWR
@@ -138,7 +139,10 @@ class Channel:
             self.src_qps.append(sqp)
             self.dst_qps.append(dqp)
         self.ctrl_qp = self.src_qps[-1]
-        self._bulk_lane = 0
+        #: Bulk (rendezvous-sized) payloads stripe round-robin over the
+        #: data lanes (UCX multi-path).
+        self.bulk_rail = Rail(self.src_qps[: cfg.ucx.n_lanes],
+                              RailPolicy.ROUND_ROBIN)
         # Receive ring at the destination for eager payloads.
         self.ring = Buffer(RING_BYTES, backed=cfg.real_buffers)
         self.ring_mr = dst.p2p_pd.reg_mr(
@@ -146,9 +150,17 @@ class Channel:
         self._ring_head = 0
         self._pump_queue = Store(self.env)
         self.env.process(self._pump())
-        # fault-recovery state: items whose WR died, awaiting resubmit.
-        self._failed: list[_PumpItem] = []
-        self._recovering = False
+        # Fault recovery: dead items queue on the tracker and resubmit
+        # through the pump after the reconnect walk.
+        self._tracker = ReplayTracker(
+            self.env, src.cluster.fabric, cfg.part.reconnect_delay,
+            counter="mpi.p2p_resubmits")
+        self._tracker.bind(
+            recover_walk=self._recover_walk,
+            restock=lambda: None,       # folded into the lane walk
+            on_dropped=lambda item: (item,),
+            can_replay=lambda item: True,  # the pump re-checks QP state
+            replay_unit=self._resubmit)
         # statistics
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -189,8 +201,7 @@ class Channel:
             if item.gather is None:
                 qp = self.ctrl_qp
             elif header.nbytes > ucx.eager_zcopy_max:
-                qp = self.src_qps[self._bulk_lane]
-                self._bulk_lane = (self._bulk_lane + 1) % ucx.n_lanes
+                qp = self.bulk_rail.select()
             else:
                 qp = self.src_qps[0]
             # Software flow control against the 16-outstanding limit.
@@ -212,11 +223,11 @@ class Channel:
             wr_id = next(_wrid_counter)
             self.dst._inbound_headers[header.seq] = header
             if item.on_sent is not None:
-                self.src._send_callbacks[wr_id] = item.on_sent
+                self.src.router.on_success(wr_id, item.on_sent)
             # Failure routing: entries live from post to ACK so a WR
             # that dies — with an error CQE or with its QP — can be
             # traced back to its message and replayed exactly once.
-            self.src._send_error_callbacks[wr_id] = (self, item, qp)
+            self.src.router.on_failure(wr_id, (self, item, qp))
             wire_bytes = (header.nbytes if item.gather else 0) + HEADER_BYTES
             qp.post_send(SendWR(
                 wr_id=wr_id,
@@ -238,46 +249,31 @@ class Channel:
 
     def note_failure(self, item: _PumpItem) -> None:
         """Park a dead message and kick the reconnect process once."""
-        self._failed.append(item)
-        if not self._recovering:
-            self._recovering = True
-            self.env.process(self.reconnect())
+        self._tracker.queue([item])
+        self._tracker.kick()
 
-    def _restock_rq(self, dqp) -> None:
-        while len(dqp.rq) < _RQ_PRESTOCK:
-            dqp.post_recv(RecvWR(wr_id=0))
+    def _recover_walk(self):
+        """Walk failed lanes back to RTS; sweep their vanished WRs.
 
-    def reconnect(self):
-        """Walk failed lanes back to RTS and resubmit dead messages.
-
-        The reconnect delay is far longer than the ACK window, so by
-        the sweep every in-flight completion has landed: whatever is
-        still registered against a failed lane died without a CQE and
-        is replayed here, exactly once.  The reconnect loop, sweep, and
-        resubmits are yield-free, so the pump cannot interleave and
-        double-post.
+        The reconnect delay (charged by the tracker) is far longer than
+        the ACK window, so by the sweep every in-flight completion has
+        landed: whatever is still registered against a failed lane died
+        without a CQE and queues for resubmission here, exactly once.
+        The walk, sweep, and resubmits are all yield-free, so the pump
+        cannot interleave and double-post.
         """
-        from repro.ib import verbs
+        fixed = reconnect_walk(
+            ((sqp, sqp, dqp) for sqp, dqp in zip(self.src_qps, self.dst_qps)),
+            on_fixed=lambda _tok, _sqp, dqp: restock(dqp, _RQ_PRESTOCK))
+        for entry in self.src.router.sweep_failures(
+                lambda e: e[0] is self and e[2] in fixed):
+            self._tracker.queue([entry[1]])
+        return fixed
 
-        yield self.env.timeout(self.src.config.part.reconnect_delay)
-        fixed = set()
-        for sqp, dqp in zip(self.src_qps, self.dst_qps):
-            if (sqp.state is QPState.ERROR
-                    or dqp.state is QPState.ERROR):
-                verbs.reconnect_qps(sqp, dqp)
-                self._restock_rq(dqp)
-                fixed.add(sqp)
-        for wr_id, entry in list(self.src._send_error_callbacks.items()):
-            chan = entry[0]
-            if chan is self and entry[2] in fixed:
-                del self.src._send_error_callbacks[wr_id]
-                self.src._send_callbacks.pop(wr_id, None)
-                self._failed.append(entry[1])
-        counters = self.src.cluster.fabric.counters
-        while self._failed:
-            counters.inc("mpi.p2p_resubmits")
-            self.submit(self._failed.pop(0))
-        self._recovering = False
+    def _resubmit(self, item: _PumpItem):
+        self.submit(item)
+        return
+        yield  # pragma: no cover - generator protocol
 
 
 def make_seq() -> int:

@@ -25,10 +25,10 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING
 
+from repro.engine import CreditManager, Rail, RailPolicy, reconnect_walk
 from repro.ib.constants import (
     ACCESS_LOCAL,
     ACCESS_REMOTE_READ,
-    ACCESS_REMOTE_WRITE,
     Opcode,
     QPState,
 )
@@ -60,11 +60,18 @@ class PersistModule(PartitionedModule):
         # round N has been seen — the internal-matching gate real
         # persistent implementations have.  Credit lands one fabric
         # latency after the receiver re-arms.
-        self._armed_round = 0
-        self._deferred: list[int] = []
+        self._credit = CreditManager(self.env, self._drain_deferred)
         # per-round sender state
         self._acked = 0
         self._readied = 0
+
+    @property
+    def _armed_round(self) -> int:
+        return self._credit.armed_round
+
+    @property
+    def _deferred(self) -> list:
+        return self._credit.deferred
 
     # -- setup ------------------------------------------------------------
 
@@ -91,7 +98,7 @@ class PersistModule(PartitionedModule):
             verbs.connect_qps(requester, responder)
             # No RQ stocking: RDMA READs consume no receive WRs.
             self.read_qps.append(requester)
-        self._read_rail = 0
+        self.read_rail = Rail(self.read_qps, RailPolicy.ROUND_ROBIN)
 
     # -- round management ----------------------------------------------------
 
@@ -102,21 +109,17 @@ class PersistModule(PartitionedModule):
         yield  # pragma: no cover - generator protocol
 
     def start_recv(self, req):
-        env = self.env
         flight = self.cluster.fabric.latency(
             self.receiver.node_id, self.sender.node_id)
-        round_number = req.round
-
-        def credit(env):
-            yield env.timeout(flight)
-            self._armed_round = max(self._armed_round, round_number)
-            while self._deferred:
-                self._dispatch(self._deferred.pop(0))
-                yield env.timeout(0)
-
-        env.process(credit(env))
+        self._credit.grant(req.round, flight)
         return
         yield  # pragma: no cover - generator protocol
+
+    def _drain_deferred(self):
+        """Dispatch everything parked behind the round credit."""
+        while self._credit.deferred:
+            self._dispatch(self._credit.deferred.pop(0))
+            yield self.env.timeout(0)
 
     # -- sender path ------------------------------------------------------------
 
@@ -136,10 +139,10 @@ class PersistModule(PartitionedModule):
                 cost += size / sender.config.host.memcpy_rate
             yield self.env.timeout(sender.software_cost(cost))
             self._readied += 1
-            if self._armed_round < req.round:
+            if not self._credit.ready(req.round):
                 # Receiver has not re-armed this round yet: park the
                 # partition until its credit arrives.
-                self._deferred.append(partition)
+                self._credit.defer(partition)
             else:
                 self._dispatch(partition)
         finally:
@@ -191,21 +194,19 @@ class PersistModule(PartitionedModule):
         req = self.send_req
         size = req.partition_size
         offset = req.buf.partition_offset(partition)
-        requester = self.read_qps[self._read_rail]
-        self._read_rail = (self._read_rail + 1) % len(self.read_qps)
-        while not requester.has_rdma_slot():
-            yield requester.wait_rdma_slot()
+        requester = yield from self.read_rail.acquire()
         if requester.state is not QPState.RTS:
             # The read rail died under us: reconnect and retry later.
             yield from self._on_read_failed(partition)
             return
         wr_id = next(_read_wrid)
-        # The callback is a generator: the progress poller runs it and
+        # The callback is a generator: the completion router runs it and
         # charges its completion-handling time.
-        self.receiver._send_callbacks[wr_id] = (
-            lambda wc, p=partition: self._on_read_complete(p))
-        self.receiver._send_error_callbacks[wr_id] = (
-            None, lambda wc, p=partition: self._on_read_failed(p), requester)
+        self.receiver.router.on_success(
+            wr_id, lambda wc, p=partition: self._on_read_complete(p))
+        self.receiver.router.on_failure(
+            wr_id,
+            (None, lambda wc, p=partition: self._on_read_failed(p), requester))
         requester.post_send(SendWR(
             wr_id=wr_id,
             opcode=Opcode.RDMA_READ,
@@ -221,16 +222,12 @@ class PersistModule(PartitionedModule):
         Nothing landed (a failed READ scatters no data), so re-issuing
         after the reconnect walk is exactly-once by construction.
         """
-        from repro.ib import verbs
-
         self.cluster.fabric.counters.inc("mpi.read_replays")
         yield self.env.timeout(self.cluster.config.part.reconnect_delay)
-        for requester in self.read_qps:
-            responder = self.sender.ib.nic.qps.get(requester.dest_qp_num)
-            if (requester.state is QPState.ERROR
-                    or (responder is not None
-                        and responder.state is QPState.ERROR)):
-                verbs.reconnect_qps(requester, responder)
+        reconnect_walk(
+            (requester, requester,
+             self.sender.ib.nic.qps.get(requester.dest_qp_num))
+            for requester in self.read_rail)
         yield from self._issue_read(partition)
 
     def _on_read_complete(self, partition: int):

@@ -19,7 +19,7 @@ from repro.mpi.endpoint import (
     make_seq,
     ring_payload,
 )
-from repro.mpi.progress import ProgressEngine
+from repro.engine import CompletionRouter, ProgressEngine
 from repro.mpi.request import (
     P2PRequest,
     PartitionedState,
@@ -43,18 +43,20 @@ class MPIProcess:
         self.ib = Context(cluster.fabric, node_id)
         self.p2p_pd = self.ib.alloc_pd()
         self.p2p_cq = self.ib.create_cq(capacity=1 << 20)
-        self.engine = ProgressEngine(self.env, self.config.host.t_poll_miss)
-        self.engine.watch_cq(self.p2p_cq)
-        self.engine.register(self._p2p_poller)
+        self.engine = ProgressEngine(
+            self.env, self.config.host.t_poll_miss,
+            idle_fallback=self.config.engine.idle_fallback)
+        #: Completion router: CQ polling plus per-wr_id dispatch.  The
+        #: shared p2p CQ binds here; partitioned modules bind their own
+        #: CQs in setup, in registration order.
+        self.router = CompletionRouter(self.engine, self.config.host,
+                                       batch=self.config.engine.poll_batch)
+        self.router.bind(self.p2p_cq, self._on_p2p_wc)
         #: Software-cost multiplier (>1 when threads oversubscribe cores).
         self.sw_multiplier = 1.0
         # transport state
         self._channels_out: dict[int, Channel] = {}
         self._inbound_headers: dict[int, Header] = {}
-        self._send_callbacks: dict[int, object] = {}
-        #: wr_id -> (channel, item, qp) or (None, handler, qp): failure
-        #: routing for in-flight sends (entries removed on success).
-        self._send_error_callbacks: dict[int, tuple] = {}
         self._mr_cache: dict[int, object] = {}
         # p2p matching
         self._posted_recvs: list[P2PRequest] = []
@@ -177,35 +179,24 @@ class MPIProcess:
                               cpu_cost=self.config.ucx.t_rndv,
                               gap=self.config.ucx.gap_inline))
 
-    def _p2p_poller(self):
-        """Progress pass over the shared p2p CQ."""
-        env = self.env
-        host = self.config.host
-        handled = 0
-        while True:
-            wcs = self.p2p_cq.poll(16)
-            if not wcs:
-                break
-            for wc in wcs:
-                yield env.timeout(host.t_poll_hit)
-                if not wc.ok:
-                    yield from self._handle_p2p_failure(wc)
-                elif wc.imm_data is not None:
-                    header = self._inbound_headers.pop(wc.imm_data, None)
-                    if header is None:
-                        raise MPIError(f"no header for seq {wc.imm_data}")
-                    # Replenish the consumed RQ entry.
-                    self.ib.nic.qps[wc.qp_num].post_recv(RecvWR(wr_id=0))
-                    yield from self._handle_inbound(header)
-                else:
-                    callback = self._send_callbacks.pop(wc.wr_id, None)
-                    self._send_error_callbacks.pop(wc.wr_id, None)
-                    if callback is not None:
-                        result = callback(wc)
-                        if result is not None and hasattr(result, "send"):
-                            yield from result
-                handled += 1
-        return handled
+    def _on_p2p_wc(self, wc):
+        """Dispatch one completion from the shared p2p CQ (router hook)."""
+        if not wc.ok:
+            yield from self._handle_p2p_failure(wc)
+        elif wc.imm_data is not None:
+            header = self._inbound_headers.pop(wc.imm_data, None)
+            if header is None:
+                raise MPIError(f"no header for seq {wc.imm_data}")
+            # Replenish the consumed RQ entry.
+            self.ib.nic.qps[wc.qp_num].post_recv(RecvWR(wr_id=0))
+            yield from self._handle_inbound(header)
+        else:
+            callback = self.router.pop_success(wc.wr_id)
+            self.router.pop_failure(wc.wr_id)
+            if callback is not None:
+                result = callback(wc)
+                if result is not None and hasattr(result, "send"):
+                    yield from result
 
     def _handle_p2p_failure(self, wc):
         """Route a failed completion to recovery, or surface it.
@@ -229,13 +220,13 @@ class MPIProcess:
                 f"p2p WR {wc.wr_id} flushed ({wc.status.value}) on "
                 f"QP {wc.qp_num}")
         self.cluster.fabric.counters.inc("mpi.p2p_failures")
-        entry = self._send_error_callbacks.pop(wc.wr_id, None)
+        entry = self.router.pop_failure(wc.wr_id)
         if entry is None:
             # A flushed receive prestock entry: the reconnect walk
             # restocks the RQ, nothing else to do.
             return
         chan, payload, _qp = entry
-        self._send_callbacks.pop(wc.wr_id, None)
+        self.router.pop_success(wc.wr_id)
         if chan is not None and getattr(payload, "on_error", None) is None:
             chan.note_failure(payload)
             return

@@ -1,108 +1,11 @@
-"""The single-threaded progress engine (paper Section IV-A).
+"""Compatibility re-export: the progress engine moved to the engine layer.
 
-"Our progress engine design is single-threaded, we only allow a single
-thread to progress at a time.  ``MPI_Parrived`` tries to acquire a
-lock.  If it is successful, it will progress all MPI messages and
-release the lock upon completion.  Otherwise it just returns."
-
-Pollers (one per transport: the p2p endpoint layer and each partitioned
-module instance) register generator functions that poll their CQs,
-charge CPU costs, and return the number of events handled.  Waiting is
-event-driven across idle stretches: the engine parks on a *kick* event
-that completion-queue pushes trigger, instead of burning a simulation
-event per spin — same virtual-time semantics, thousands of times fewer
-events.
+The :class:`ProgressEngine` is now the *driver* of the transport engine
+(:mod:`repro.engine`) rather than a peer of the MPI modules; it lives in
+:mod:`repro.engine.progress`.  This module keeps the historical import
+path working.
 """
 
-from __future__ import annotations
+from repro.engine.progress import _IDLE_FALLBACK, Poller, ProgressEngine
 
-from typing import Callable, Iterable, Optional
-
-from repro.sim.core import Environment, Event
-from repro.sim.sync import SimLock
-from repro.units import us
-
-#: Fallback park time while waiting with no kick (guards against a
-#: missing notification path ever deadlocking a wait).  Completion
-#: queues kick the engine on every push, so this only bounds the rare
-#: conditions with no notification hook; keeping it long keeps idle
-#: waits cheap (one wakeup per 100 us instead of per 10 us).
-_IDLE_FALLBACK = us(100)
-
-Poller = Callable[[], Iterable]  # generator function returning int
-
-
-class ProgressEngine:
-    """Polls all registered transports under a single lock."""
-
-    def __init__(self, env: Environment, t_poll_miss: float):
-        self.env = env
-        self.t_poll_miss = t_poll_miss
-        self.lock = SimLock(env)
-        self._pollers: list[Poller] = []
-        self._kick: Event = env.event()
-        # statistics
-        self.passes = 0
-        self.events_handled = 0
-
-    def register(self, poller: Poller) -> None:
-        """Add a transport poller (a generator function returning a count)."""
-        self._pollers.append(poller)
-
-    def kick(self) -> None:
-        """Wake any process parked in :meth:`wait_until` (CQ push hook)."""
-        if not self._kick.triggered:
-            self._kick.succeed(None)
-
-    def watch_cq(self, cq) -> None:
-        """Arrange for pushes on ``cq`` to kick this engine."""
-        cq.on_push.append(lambda wc: self.kick())
-
-    def progress_once(self):
-        """One progress pass; yields, returns events handled (0 if lock busy).
-
-        The non-blocking try-lock variant used from ``MPI_Parrived`` and
-        ``MPI_Pready`` contexts.  A failed probe still costs the caller
-        a poll's worth of CPU — and guarantees time advances, so a
-        thread spin-polling ``Parrived`` against a busy engine cannot
-        livelock the simulation.
-        """
-        if not self.lock.try_acquire():
-            yield self.env.timeout(self.t_poll_miss)
-            return 0
-        try:
-            handled = 0
-            for poller in list(self._pollers):
-                handled += yield from poller()
-            if handled == 0:
-                yield self.env.timeout(self.t_poll_miss)
-            self.passes += 1
-            self.events_handled += handled
-            return handled
-        finally:
-            self.lock.release()
-
-    def wait_until(self, predicate: Callable[[], bool]):
-        """Progress until ``predicate()`` holds; yields (``MPI_Wait`` core).
-
-        Idle stretches park on the kick event rather than spinning.
-        """
-        while not predicate():
-            handled = yield from self.progress_once()
-            if predicate():
-                break
-            if handled == 0:
-                if self._kick.triggered:
-                    # A completion landed since the last park — it may
-                    # not have been polled yet (e.g. it arrived during
-                    # this very pass).  Consume the trigger and re-poll
-                    # rather than parking past real work.
-                    self._kick = self.env.event()
-                    continue
-                kick = self._kick
-                timeout = self.env.timeout(_IDLE_FALLBACK)
-                yield self.env.any_of([kick, timeout])
-
-    def __repr__(self) -> str:
-        return (f"<ProgressEngine pollers={len(self._pollers)} "
-                f"passes={self.passes}>")
+__all__ = ["ProgressEngine", "Poller", "_IDLE_FALLBACK"]

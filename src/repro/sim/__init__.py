@@ -36,7 +36,7 @@ from repro.sim.core import (
 from repro.sim.process import Process
 from repro.sim.events import AllOf, AnyOf, Condition
 from repro.sim.resources import Resource, Store, PriorityResource
-from repro.sim.sync import SimLock, SimSemaphore, AtomicCounter, SimBarrier
+from repro.sim.sync import SimLock, SimSemaphore, AtomicCounter, SimBarrier, Notify
 from repro.sim.rng import RngStreams
 from repro.sim.monitor import Counters, Trace, TraceRecord
 
@@ -55,6 +55,7 @@ __all__ = [
     "SimSemaphore",
     "SimBarrier",
     "AtomicCounter",
+    "Notify",
     "RngStreams",
     "Counters",
     "Trace",

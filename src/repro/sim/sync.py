@@ -158,6 +158,51 @@ class AtomicCounter:
             self._lock.release()
 
 
+class Notify:
+    """An edge-triggered wakeup latch (the progress engine's *kick*).
+
+    ``set`` arms the latch and wakes anything parked on the current
+    :meth:`wait` event; repeated sets before a consume coalesce into
+    one wakeup, matching completion-channel semantics.  A consumer that
+    finds the latch ``pending`` calls :meth:`consume` to re-arm it and
+    re-checks its condition — this check-consume-recheck discipline is
+    what makes a set landing *between* a predicate check and the park
+    impossible to lose.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._event = Event(env)
+        #: Total sets that armed the latch (coalesced sets not counted).
+        self.set_count = 0
+
+    @property
+    def pending(self) -> bool:
+        """Whether a set has landed since the last :meth:`consume`."""
+        return self._event.triggered
+
+    def set(self) -> None:
+        """Arm the latch, waking the current wait event (idempotent)."""
+        if not self._event.triggered:
+            self._event.succeed(None)
+            self.set_count += 1
+
+    def consume(self) -> None:
+        """Re-arm after observing a pending set (edge-triggered reset)."""
+        self._event = Event(self.env)
+
+    def wait(self, fallback: Optional[float] = None) -> Event:
+        """Event firing on the next set (or after ``fallback`` seconds).
+
+        The returned event references the *current* latch generation:
+        a set that landed before this call fires it immediately, so a
+        parker can never sleep through a wakeup it has not consumed.
+        """
+        if fallback is None:
+            return self._event
+        return self.env.any_of([self._event, self.env.timeout(fallback)])
+
+
 class SimBarrier:
     """A reusable barrier for ``parties`` simulated processes."""
 

@@ -1,0 +1,53 @@
+"""Golden-output guard: benchmark timing must stay bit-identical.
+
+The transport-engine refactor (and anything after it) is required to
+preserve single-rail event ordering exactly: the fig. 6 and fig. 8
+mini-sweeps must reproduce the checked-in goldens bit for bit.  Floats
+are compared through ``float.hex`` — no tolerance, by design.  If a
+change legitimately alters timing (new hardware model, config default),
+regenerate the goldens with ``python tests/test_bench/regen_goldens.py``
+and explain the delta in the commit.
+"""
+
+import json
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def encode(obj):
+    """JSON-stable encoding with bit-exact floats."""
+    if isinstance(obj, dict):
+        return {str(k): encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [encode(v) for v in obj]
+    if isinstance(obj, float):
+        return float(obj).hex()
+    return obj
+
+
+def load(name):
+    with open(GOLDEN_DIR / name) as fh:
+        return json.load(fh)
+
+
+def test_fig06_mini_sweep_matches_golden():
+    from benchmarks.bench_fig06_transport_partitions import (
+        OVERHEAD_SIZES_FAST,
+        run_fig6,
+    )
+    from benchmarks.common import FAST_PTP
+
+    result = encode(run_fig6(OVERHEAD_SIZES_FAST, FAST_PTP))
+    assert json.loads(json.dumps(result)) == load("fig06_mini.json")
+
+
+def test_fig08_mini_sweep_matches_golden():
+    from benchmarks.bench_fig08_aggregator_comparison import (
+        SIZES_FAST,
+        run_fig8,
+    )
+    from benchmarks.common import FAST_PTP
+
+    result = encode(run_fig8([4, 32], SIZES_FAST, FAST_PTP, 3))
+    assert json.loads(json.dumps(result)) == load("fig08_mini.json")

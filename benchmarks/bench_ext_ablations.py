@@ -22,39 +22,21 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import PERCEIVED_COMPUTE, PERCEIVED_NOISE
-from repro.bench.perceived import run_perceived_bandwidth
-from repro.bench.reporting import format_table
-from repro.bench.sweep import run_sweep
-from repro.core import (
-    AdaptiveDelta,
-    AdaptiveTimerAggregator,
-    TimerPLogGPAggregator,
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    ABL_N_USER as N_USER,
+    ABL_TIGHT_DELTA as TIGHT_DELTA,
+    ext_adaptive_spec,
+    ext_sg_spec,
 )
-from repro.model.tables import NIAGARA_LOGGP
-from repro.units import KiB, MiB, fmt_bytes, ms, us
-
-N_USER = 32
-#: Below the ~20 us natural arrival spread of 32 threads at 100 ms
-#: compute, so the flush regularly catches non-contiguous holes.
-TIGHT_DELTA = us(5)
+from repro.units import KiB, MiB
 
 
 def run_sg_ablation(sizes=(8 * MiB, 32 * MiB), iterations=6, warmup=2):
     """{(design, size): (perceived bw, WRs posted per round)}."""
-    out = {}
-    for sg in (False, True):
-        name = "sg" if sg else "runs"
-        agg = TimerPLogGPAggregator(NIAGARA_LOGGP, delay=ms(4),
-                                    delta=TIGHT_DELTA, scatter_gather=sg)
-        for size in sizes:
-            res = run_perceived_bandwidth(
-                agg, n_user=N_USER, total_bytes=size,
-                compute=PERCEIVED_COMPUTE, noise_fraction=PERCEIVED_NOISE,
-                iterations=iterations, warmup=warmup)
-            wrs = res.result.wrs_posted / (iterations + warmup)
-            out[(name, size)] = (res.perceived_bandwidth, wrs)
-    return out
+    payload = run_spec(ext_sg_spec(sizes, iterations, warmup))
+    return {(name, size): (bw, wrs)
+            for name, size, bw, wrs in payload["rows"]}
 
 
 def run_adaptive_ablation(size=256 * KiB, iterations=4, warmup=1):
@@ -64,21 +46,8 @@ def run_adaptive_ablation(size=256 * KiB, iterations=4, warmup=1):
     oversized δ in one request delays its pready on the other — the
     multi-request hazard of Section V-C2.
     """
-    kwargs = dict(grid=(4, 4), total_bytes=size, compute=ms(1),
-                  noise_fraction=0.04, iterations=iterations, warmup=warmup)
-    base = run_sweep(None, **kwargs).mean_comm_time
-    designs = {
-        "fixed good (8us)": TimerPLogGPAggregator(
-            NIAGARA_LOGGP, delay=ms(4), delta=us(8)),
-        "fixed bad (200us)": TimerPLogGPAggregator(
-            NIAGARA_LOGGP, delay=ms(4), delta=us(200)),
-        "adaptive (seed 200us)": AdaptiveTimerAggregator(
-            NIAGARA_LOGGP, delay=ms(4), initial_delta=us(200),
-            adaptive=AdaptiveDelta(alpha=0.6, margin=1.5,
-                                   min_delta=us(1), max_delta=us(200))),
-    }
-    return {name: base / run_sweep(agg, **kwargs).mean_comm_time
-            for name, agg in designs.items()}
+    return run_spec(
+        ext_adaptive_spec(size, iterations, warmup))["speedups"]
 
 
 def test_ext_sg_ablation(benchmark):
@@ -109,15 +78,4 @@ def test_ext_adaptive_ablation(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print("-- scatter/gather flush (tight delta forces hole-y flushes) --")
-    sg = run_sg_ablation()
-    rows = []
-    for (name, size), (bw, wrs) in sorted(sg.items(), key=lambda kv: kv[0][1]):
-        rows.append([fmt_bytes(size), name, f"{bw / 2**30:.0f}GiB/s",
-                     f"{wrs:.1f}"])
-    print(format_table(["size", "flush", "perceived bw", "WRs/round"], rows))
-    print("\n-- adaptive delta in the sweep (comm speedup vs persist) --")
-    for name, speedup in run_adaptive_ablation(iterations=6).items():
-        print(f"  {name:>22}: {speedup:.2f}x")
-    sys.exit(0)
+    sys.exit(script_main("ext_ablations", __doc__))

@@ -18,59 +18,28 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import (
-    PERCEIVED_COMPUTE,
-    PERCEIVED_NOISE,
-    ploggp_aggregator,
-    timer_aggregator,
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    FAULTS_LOSSES,
+    FAULTS_N_USER as N_USER,
+    FAULTS_TOTAL as TOTAL_BYTES,
+    ext_faults_spec,
+    faults_table_report as format_faults_table,
 )
-from repro.bench.perceived import run_perceived_bandwidth
-from repro.bench.reporting import format_table
-from repro.units import fmt_rate
-from repro.faults import FaultSchedule
-from repro.units import MiB
+from repro.units import MiB, fmt_rate
 
-N_USER = 16
-TOTAL_BYTES = 32 * MiB
-LOSS_RATES = [0.0, 1e-5, 1e-4, 1e-3]
+LOSS_RATES = list(FAULTS_LOSSES)
 
 
 def run_ext_faults(n_user=N_USER, total_bytes=TOTAL_BYTES,
                    losses=LOSS_RATES, iterations=10, warmup=3):
     """{loss: {design: (perceived bw, retransmits)}} over the sweep."""
-    designs = {
-        "persist": None,
-        "ploggp": ploggp_aggregator(),
-        "timer(3000us)": timer_aggregator(),
-    }
+    payload = run_spec(
+        ext_faults_spec(n_user, total_bytes, losses, iterations, warmup))
     table = {}
-    for loss in losses:
-        table[loss] = {}
-        for name, module in designs.items():
-            schedule = (FaultSchedule().chunk_loss(loss)
-                        if loss > 0.0 else None)
-            point = run_perceived_bandwidth(
-                module, n_user=n_user, total_bytes=total_bytes,
-                compute=PERCEIVED_COMPUTE, noise_fraction=PERCEIVED_NOISE,
-                iterations=iterations, warmup=warmup,
-                fault_schedule=schedule)
-            counters = point.result.counters
-            table[loss][name] = (point.perceived_bandwidth,
-                                 counters.get("ib.retransmits", 0))
+    for loss, name, bw, rexmt in payload["rows"]:
+        table.setdefault(loss, {})[name] = (bw, rexmt)
     return table
-
-
-def format_faults_table(table):
-    designs = list(next(iter(table.values())))
-    headers = ["loss"] + [f"{d} (bw, rexmt)" for d in designs]
-    rows = []
-    for loss, line in table.items():
-        row = [f"{loss:g}"]
-        for d in designs:
-            bw, rexmt = line[d]
-            row.append(f"{fmt_rate(bw)} {rexmt:4d}")
-        rows.append(row)
-    return format_table(headers, rows)
 
 
 def test_ext_faults(benchmark):
@@ -88,9 +57,4 @@ def test_ext_faults(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print(f"{N_USER} partitions x {TOTAL_BYTES // MiB // N_USER} MiB, "
-          f"100 ms compute, 4 % noise; bw = perceived, rexmt = RC "
-          f"retransmissions across the run")
-    print(format_faults_table(run_ext_faults()))
-    sys.exit(0)
+    sys.exit(script_main("ext_faults", __doc__))

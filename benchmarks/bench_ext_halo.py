@@ -16,37 +16,27 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import ploggp_aggregator, timer_aggregator
-from repro.bench.halo import run_halo
-from repro.bench.reporting import format_speedup_series
-from repro.ib.topology import DragonflyPlus
-from repro.units import KiB, MiB, ms, us
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    HALO_GRID as GRID,
+    HALO_N_THREADS as N_THREADS,
+    HALO_SIZES,
+    HALO_SIZES_FAST,
+    ext_halo_spec,
+)
+from repro.exp.modules import topology_desc
+from repro.units import KiB, MiB
 
-GRID = (8, 8)
-N_THREADS = 16
-SIZES = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]
-SIZES_FAST = [256 * KiB, 1 * MiB]
+SIZES = list(HALO_SIZES)
+SIZES_FAST = list(HALO_SIZES_FAST)
 
 
 def run_ext_halo(grid=GRID, sizes=SIZES, iterations=10, warmup=3,
                  topology=None):
-    designs = {
-        "ploggp": ploggp_aggregator(),
-        "timer": timer_aggregator(us(8)),
-    }
-    series = {name: {} for name in designs}
-    for size in sizes:
-        base = run_halo(None, grid=grid, n_threads=N_THREADS,
-                        face_bytes=size, compute=ms(1), noise_fraction=0.01,
-                        iterations=iterations, warmup=warmup,
-                        topology=topology).mean_comm_time
-        for name, module in designs.items():
-            ours = run_halo(module, grid=grid, n_threads=N_THREADS,
-                            face_bytes=size, compute=ms(1),
-                            noise_fraction=0.01, iterations=iterations,
-                            warmup=warmup, topology=topology).mean_comm_time
-            series[name][size] = base / ours
-    return series
+    if topology is not None and not isinstance(topology, (list, tuple)):
+        topology = topology_desc(topology)
+    return run_spec(ext_halo_spec(grid, sizes, iterations, warmup,
+                                  topology))["series"]
 
 
 def test_ext_halo(benchmark):
@@ -61,10 +51,4 @@ def test_ext_halo(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    topo = DragonflyPlus(nodes_per_leaf=16, leaves_per_group=2)
-    print(f"grid {GRID[0]}x{GRID[1]} x {N_THREADS} threads, Dragonfly+ "
-          f"latencies")
-    print(format_speedup_series(
-        run_ext_halo(topology=topo)))
-    sys.exit(0)
+    sys.exit(script_main("ext_halo", __doc__))

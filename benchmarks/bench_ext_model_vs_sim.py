@@ -21,16 +21,17 @@ if __package__ in (None, ""):
 
 import sys
 
-from repro.bench.overhead import run_overhead
-from repro.bench.reporting import format_table
-from repro.core import FixedAggregation
-from repro.model import completion_time, many_before_one
-from repro.model.tables import NIAGARA_LOGGP
-from repro.units import KiB, MiB, fmt_bytes, ms
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    MVS_CANDIDATES,
+    MVS_N_USER as N_USER,
+    MVS_SIZES,
+    ext_model_vs_sim_spec,
+)
+from repro.units import KiB, MiB
 
-N_USER = 32
-CANDIDATES = [1, 2, 8, 32]
-SIZES = [16 * KiB, 256 * KiB, 2 * MiB, 16 * MiB]
+CANDIDATES = list(MVS_CANDIDATES)
+SIZES = list(MVS_SIZES)
 
 
 def run_comparison(sizes=SIZES, iterations=20, warmup=3, delay=0.0):
@@ -39,26 +40,8 @@ def run_comparison(sizes=SIZES, iterations=20, warmup=3, delay=0.0):
     ``delay`` defaults to 0: the overhead benchmark injects no noise,
     so the model is evaluated under simultaneous arrival too.
     """
-    out = {}
-    ready = many_before_one(N_USER, delay)
-    for size in sizes:
-        model_times = {
-            n: completion_time(NIAGARA_LOGGP, size, n, ready).completion_time
-            for n in CANDIDATES
-        }
-        measured_times = {
-            n: run_overhead(FixedAggregation(n, 2), n_user=N_USER,
-                            total_bytes=size, iterations=iterations,
-                            warmup=warmup).mean_time
-            for n in CANDIDATES
-        }
-        out[size] = {
-            "model": sorted(CANDIDATES, key=model_times.get),
-            "measured": sorted(CANDIDATES, key=measured_times.get),
-            "model_times": model_times,
-            "measured_times": measured_times,
-        }
-    return out
+    return run_spec(ext_model_vs_sim_spec(
+        sizes, iterations, warmup, delay))["comparison"]
 
 
 def agreement(result) -> float:
@@ -90,18 +73,4 @@ def test_ext_model_vs_sim(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    result = run_comparison()
-    rows = []
-    for size, data in result.items():
-        rows.append([
-            fmt_bytes(size),
-            data["model"][0],
-            data["measured"][0],
-            "agree" if data["model"][0] == data["measured"][0] else "differ",
-        ])
-    print(format_table(
-        ["size", "model's best T", "simulator's best T", ""], rows))
-    print(f"\nwinner agreement: {agreement(result):.0%} "
-          "(the paper found trends agree, thresholds shift)")
-    sys.exit(0)
+    sys.exit(script_main("ext_model_vs_sim", __doc__))

@@ -16,35 +16,22 @@ if __package__ in (None, ""):
 
 import sys
 
-from repro.bench.reporting import format_table
-from repro.model import model_curve
-from repro.model.tables import NIAGARA_LOGGP
-from repro.units import KiB, MiB, fmt_bytes, fmt_time, ms
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    FIG03_COUNTS,
+    FIG03_DELAY as DELAY,
+    FIG03_SIZES,
+    fig03_report as report,
+    fig03_spec,
+)
 
-PARTITION_COUNTS = [1, 2, 4, 8, 16, 32]
-SIZES = [16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB,
-         64 * MiB, 256 * MiB]
-DELAY = ms(4)
+PARTITION_COUNTS = list(FIG03_COUNTS)
+SIZES = list(FIG03_SIZES)
 
 
 def run_fig3(sizes=SIZES, counts=PARTITION_COUNTS, delay=DELAY):
     """{partition count: [completion time per size]}."""
-    return {
-        n: model_curve(NIAGARA_LOGGP, sizes, n_transport=n, n_user=n,
-                       delay=delay)
-        for n in counts
-    }
-
-
-def report(curves, sizes=SIZES):
-    rows = []
-    for i, size in enumerate(sizes):
-        best = min(curves, key=lambda n: curves[n][i])
-        rows.append([fmt_bytes(size)]
-                    + [fmt_time(curves[n][i]) for n in curves]
-                    + [best])
-    return format_table(
-        ["size"] + [f"{n} parts" for n in curves] + ["best"], rows)
+    return run_spec(fig03_spec(sizes, counts, delay))["curves"]
 
 
 def test_fig03_model_curves(benchmark):
@@ -61,6 +48,4 @@ def test_fig03_model_curves(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print(report(run_fig3()))
-    sys.exit(0)
+    sys.exit(script_main("fig03", __doc__))

@@ -16,31 +16,21 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import (
-    FAST_PTP,
-    OVERHEAD_SIZES,
-    OVERHEAD_SIZES_FAST,
-    PTP_ITER,
+from benchmarks.common import FAST_PTP, OVERHEAD_SIZES_FAST
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    FIG06_N_QPS as N_QPS,
+    FIG06_N_USER as N_USER,
+    FIG06_TRANSPORT_COUNTS,
+    fig06_spec,
 )
-from repro.bench.overhead import overhead_speedup_series
-from repro.bench.reporting import format_speedup_series
-from repro.core import FixedAggregation
 from repro.units import KiB, MiB
 
-N_USER = 32
-TRANSPORT_COUNTS = [2, 8, 32]
-N_QPS = 2
+TRANSPORT_COUNTS = list(FIG06_TRANSPORT_COUNTS)
 
 
 def run_fig6(sizes, iter_kwargs):
-    baseline_cache = {}
-    return {
-        f"T={n_transport}": overhead_speedup_series(
-            FixedAggregation(n_transport, N_QPS),
-            n_user=N_USER, sizes=sizes,
-            baseline_cache=baseline_cache, **iter_kwargs)
-        for n_transport in TRANSPORT_COUNTS
-    }
+    return run_spec(fig06_spec(sizes, iter_kwargs))["series"]
 
 
 def test_fig06_transport_partition_sweep(benchmark):
@@ -63,6 +53,4 @@ def test_fig06_transport_partition_sweep(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print(format_speedup_series(run_fig6(OVERHEAD_SIZES, PTP_ITER)))
-    sys.exit(0)
+    sys.exit(script_main("fig06", __doc__))

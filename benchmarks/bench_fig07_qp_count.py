@@ -15,30 +15,20 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import (
-    FAST_PTP,
-    OVERHEAD_SIZES,
-    OVERHEAD_SIZES_FAST,
-    PTP_ITER,
+from benchmarks.common import FAST_PTP, OVERHEAD_SIZES_FAST
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    FIG07_N_USER as N_USER,
+    FIG07_QP_COUNTS,
+    fig07_spec,
 )
-from repro.bench.overhead import overhead_speedup_series
-from repro.bench.reporting import format_speedup_series
-from repro.core import NoAggregation
 from repro.units import KiB, MiB
 
-N_USER = 16
-QP_COUNTS = [1, 4, 16]
+QP_COUNTS = list(FIG07_QP_COUNTS)
 
 
 def run_fig7(sizes, iter_kwargs):
-    baseline_cache = {}
-    return {
-        f"QP={n_qps}": overhead_speedup_series(
-            NoAggregation(n_qps=n_qps),
-            n_user=N_USER, sizes=sizes,
-            baseline_cache=baseline_cache, **iter_kwargs)
-        for n_qps in QP_COUNTS
-    }
+    return run_spec(fig07_spec(sizes, iter_kwargs))["series"]
 
 
 def test_fig07_qp_sweep(benchmark):
@@ -56,6 +46,4 @@ def test_fig07_qp_sweep(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print(format_speedup_series(run_fig7(OVERHEAD_SIZES, PTP_ITER)))
-    sys.exit(0)
+    sys.exit(script_main("fig07", __doc__))

@@ -19,35 +19,24 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import FAST_PTP, PTP_ITER, ploggp_aggregator
-from repro.bench.overhead import overhead_speedup_series
-from repro.bench.reporting import format_speedup_series
-from repro.core.tuning_table import build_tuning_table
-from repro.core import TuningTableAggregator
-from repro.units import KiB, MiB
+from benchmarks.common import FAST_PTP
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    FIG08_SIZES,
+    FIG08_SIZES_FAST,
+    FIG08_USER_COUNTS,
+    fig08_spec,
+)
+from repro.units import KiB
 
-USER_COUNTS = [4, 32, 128]
-SIZES = [4 * KiB, 16 * KiB, 64 * KiB, 128 * KiB, 512 * KiB, 2 * MiB,
-         8 * MiB]
-SIZES_FAST = [16 * KiB, 128 * KiB, 2 * MiB]
+USER_COUNTS = list(FIG08_USER_COUNTS)
+SIZES = list(FIG08_SIZES)
+SIZES_FAST = list(FIG08_SIZES_FAST)
 
 
 def run_fig8(user_counts, sizes, iter_kwargs, table_iters=5):
-    out = {}
-    for n_user in user_counts:
-        table = build_tuning_table(
-            n_user_counts=[n_user],
-            message_sizes=[s for s in sizes if s >= n_user],
-            iterations=table_iters, warmup=1)
-        baseline_cache = {}
-        usable = [s for s in sizes if s >= n_user]
-        out[f"{n_user}p tuning-table"] = overhead_speedup_series(
-            TuningTableAggregator(table), n_user=n_user, sizes=usable,
-            baseline_cache=baseline_cache, **iter_kwargs)
-        out[f"{n_user}p ploggp"] = overhead_speedup_series(
-            ploggp_aggregator(), n_user=n_user, sizes=usable,
-            baseline_cache=baseline_cache, **iter_kwargs)
-    return out
+    return run_spec(
+        fig08_spec(user_counts, sizes, iter_kwargs, table_iters))["series"]
 
 
 def test_fig08_aggregator_comparison(benchmark):
@@ -69,6 +58,4 @@ def test_fig08_aggregator_comparison(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print(format_speedup_series(run_fig8(USER_COUNTS, SIZES, PTP_ITER)))
-    sys.exit(0)
+    sys.exit(script_main("fig08", __doc__))

@@ -17,33 +17,16 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import (
-    PERCEIVED_COMPUTE,
-    PERCEIVED_NOISE,
-    PERCEIVED_SIZES,
-    PERCEIVED_SIZES_FAST,
-    ploggp_aggregator,
-    timer_aggregator,
-)
-from repro.bench.perceived import run_perceived_bandwidth, single_thread_line
-from repro.bench.reporting import format_bandwidth_series
+from benchmarks.common import PERCEIVED_SIZES_FAST
+from repro.bench.perceived import single_thread_line
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import fig09_spec
 from repro.units import MiB
 
 
 def run_fig9(n_user, sizes, iterations=10, warmup=3):
-    designs = {
-        "persist": None,
-        "ploggp": ploggp_aggregator(),
-        "timer(3000us)": timer_aggregator(),
-    }
-    series = {name: {} for name in designs}
-    for size in sizes:
-        for name, module in designs.items():
-            series[name][size] = run_perceived_bandwidth(
-                module, n_user=n_user, total_bytes=size,
-                compute=PERCEIVED_COMPUTE, noise_fraction=PERCEIVED_NOISE,
-                iterations=iterations, warmup=warmup).perceived_bandwidth
-    return series
+    return run_spec(
+        fig09_spec([n_user], sizes, iterations, warmup))["series"]
 
 
 def test_fig09_perceived_bandwidth(benchmark):
@@ -66,10 +49,4 @@ def test_fig09_perceived_bandwidth(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    for n_user in (16, 32):
-        print(f"\n--- {n_user} partitions ---")
-        print(format_bandwidth_series(
-            run_fig9(n_user, PERCEIVED_SIZES),
-            reference=single_thread_line()))
-    sys.exit(0)
+    sys.exit(script_main("fig09", __doc__))

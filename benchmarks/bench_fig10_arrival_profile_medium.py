@@ -17,46 +17,23 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import PERCEIVED_COMPUTE, PERCEIVED_NOISE
-from repro.bench.pair import run_partitioned_pair
-from repro.bench.reporting import format_table
-from repro.mpi.persist_module import PersistSpec
-from repro.profiler import arrival_profile, early_bird_fraction
-from repro.runtime import SingleThreadDelay
-from repro.units import MiB, fmt_time
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    PROFILE_N_USER as N_USER,
+    arrival_profile_spec,
+    profile_from_metrics,
+    profile_table as report,
+)
+from repro.profiler import early_bird_fraction
+from repro.units import MiB
 
-N_USER = 32
 TOTAL = 8 * MiB
 
 
 def run_profile(total_bytes=TOTAL, iterations=10, warmup=3):
-    result = run_partitioned_pair(
-        PersistSpec,
-        n_user=N_USER,
-        partition_size=total_bytes // N_USER,
-        compute=PERCEIVED_COMPUTE,
-        noise=SingleThreadDelay(PERCEIVED_NOISE),
-        iterations=iterations,
-        warmup=warmup,
-    )
-    rounds = [[t - min(r) for t in r] for r in result.arrival_rounds()]
-    return arrival_profile(rounds, partition_size=total_bytes // N_USER)
-
-
-def report(profile):
-    rows = []
-    laggard = profile.laggard_time
-    for i, span in enumerate(profile.compute_spans):
-        end = profile.transfer_end(i)
-        rows.append([
-            i,
-            fmt_time(span),
-            fmt_time(end),
-            "early" if (i < profile.n_partitions - 1 and end <= laggard)
-            else ("laggard" if i == profile.n_partitions - 1 else "late"),
-        ])
-    return format_table(
-        ["arrival rank", "pready (rel)", "wire done", "early bird?"], rows)
+    payload = run_spec(
+        arrival_profile_spec(total_bytes, iterations, warmup))
+    return profile_from_metrics(payload["profile"])
 
 
 def test_fig10_medium_profile(benchmark):
@@ -73,9 +50,4 @@ def test_fig10_medium_profile(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    profile = run_profile()
-    print(report(profile))
-    print(f"\nearly-bird fraction: {early_bird_fraction(profile):.2f} "
-          f"(paper: 1.0 — all early partitions clear the wire)")
-    sys.exit(0)
+    sys.exit(script_main("fig10", __doc__))

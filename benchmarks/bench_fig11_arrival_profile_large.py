@@ -17,8 +17,11 @@ if __package__ in (None, ""):
 import sys
 
 from benchmarks.bench_fig10_arrival_profile_medium import report, run_profile
+from repro.exp import script_main
 from repro.profiler import early_bird_fraction
 from repro.units import MiB
+
+__all__ = ["report", "run_profile"]
 
 TOTAL = 128 * MiB
 
@@ -34,9 +37,4 @@ def test_fig11_large_profile(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    profile = run_profile(TOTAL)
-    print(report(profile))
-    print(f"\nearly-bird fraction: {early_bird_fraction(profile):.3f} "
-          f"(paper: roughly 3/8 = 0.375)")
-    sys.exit(0)
+    sys.exit(script_main("fig11", __doc__))

@@ -19,47 +19,19 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import (
-    PERCEIVED_COMPUTE,
-    PERCEIVED_NOISE,
-    ploggp_aggregator,
-)
-from repro.bench.pair import run_partitioned_pair
-from repro.bench.reporting import format_delta_table
-from repro.config import NIAGARA
-from repro.core import NativeSpec, estimate_min_delta
-from repro.runtime import SingleThreadDelay
-from repro.units import MiB, fmt_bytes
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import FIG12_COUNTS, FIG12_SIZES, fig12_spec
+from repro.units import MiB
 
-PARTITION_COUNTS = [4, 8, 16, 32, 64, 128]
-SIZES = [1 * MiB, 8 * MiB, 64 * MiB]
+PARTITION_COUNTS = list(FIG12_COUNTS)
+SIZES = list(FIG12_SIZES)
 
 
 def run_fig12(sizes=SIZES, counts=PARTITION_COUNTS, iterations=5, warmup=2):
     """{(size, n_partitions): min delta}, skipping no-aggregation points."""
-    agg = ploggp_aggregator()
-    table = {}
-    for size in sizes:
-        for n_user in counts:
-            if size % n_user:
-                continue
-            plan = agg.plan(n_user, size // n_user, NIAGARA)
-            if plan.n_transport == n_user:
-                # The model requested no aggregation: nothing for the
-                # timer to cover (the paper's missing data points).
-                continue
-            result = run_partitioned_pair(
-                lambda: NativeSpec(ploggp_aggregator()),
-                n_user=n_user,
-                partition_size=size // n_user,
-                compute=PERCEIVED_COMPUTE,
-                noise=SingleThreadDelay(PERCEIVED_NOISE),
-                iterations=iterations,
-                warmup=warmup,
-            )
-            table[(size, n_user)] = estimate_min_delta(
-                result.arrival_rounds())
-    return table
+    payload = run_spec(fig12_spec(sizes, counts, iterations, warmup))
+    return {(size, n_user): delta
+            for size, n_user, delta in payload["rows"]}
 
 
 def test_fig12_minimum_delta(benchmark):
@@ -78,6 +50,4 @@ def test_fig12_minimum_delta(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print(format_delta_table(run_fig12()))
-    sys.exit(0)
+    sys.exit(script_main("fig12", __doc__))

@@ -15,32 +15,20 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import (
-    PERCEIVED_COMPUTE,
-    PERCEIVED_NOISE,
-    PERCEIVED_SIZES,
-    PERCEIVED_SIZES_FAST,
-    timer_aggregator,
+from benchmarks.common import PERCEIVED_SIZES_FAST
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    FIG13_DELTAS,
+    FIG13_N_USER as N_USER,
+    fig13_spec,
 )
-from repro.bench.perceived import run_perceived_bandwidth, single_thread_line
-from repro.bench.reporting import format_bandwidth_series
-from repro.units import MiB, us
+from repro.units import MiB
 
-DELTAS = [us(10), us(35), us(100)]
-N_USER = 32
+DELTAS = list(FIG13_DELTAS)
 
 
 def run_fig13(sizes, iterations=10, warmup=3):
-    series = {}
-    for delta in DELTAS:
-        name = f"delta={delta * 1e6:.0f}us"
-        series[name] = {}
-        for size in sizes:
-            series[name][size] = run_perceived_bandwidth(
-                timer_aggregator(delta), n_user=N_USER, total_bytes=size,
-                compute=PERCEIVED_COMPUTE, noise_fraction=PERCEIVED_NOISE,
-                iterations=iterations, warmup=warmup).perceived_bandwidth
-    return series
+    return run_spec(fig13_spec(sizes, iterations, warmup))["series"]
 
 
 def test_fig13_delta_window(benchmark):
@@ -64,7 +52,4 @@ def test_fig13_delta_window(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print(format_bandwidth_series(run_fig13(PERCEIVED_SIZES),
-                                  reference=single_thread_line()))
-    sys.exit(0)
+    sys.exit(script_main("fig13", __doc__))

@@ -19,51 +19,23 @@ if __package__ in (None, ""):
 
 import sys
 
-from benchmarks.common import (
-    FAST_SWEEP,
-    SWEEP_ITER,
-    SWEEP_SIZES,
-    SWEEP_SIZES_FAST,
-    ploggp_aggregator,
-    timer_aggregator,
+from benchmarks.common import FAST_SWEEP, SWEEP_SIZES_FAST
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import (
+    FIG14_GRID as GRID,
+    FIG14_N_THREADS as N_THREADS,
+    FIG14_NOISE_POINTS,
+    FIG14_TIMER_DELTA as TIMER_DELTA,
+    fig14_spec,
 )
-from repro.bench.reporting import format_speedup_series
-from repro.bench.sweep import run_sweep
-from repro.units import KiB, MiB, ms, us
+from repro.units import KiB
 
-#: (compute, noise fraction) -> laggard delay of 10/40/400 us.
-NOISE_POINTS = [
-    ("14a: 1ms+1% (10us)", 1e-3, 0.01),
-    ("14b: 1ms+4% (40us)", 1e-3, 0.04),
-    ("14c: 10ms+4% (400us)", 10e-3, 0.04),
-]
-GRID = (8, 8)
-N_THREADS = 16
-TIMER_DELTA = us(8)
+NOISE_POINTS = list(FIG14_NOISE_POINTS)
 
 
 def run_fig14(grid, sizes, noise_points, iter_kwargs):
-    out = {}
-    for label, compute, noise in noise_points:
-        base = {}
-        for size in sizes:
-            base[size] = run_sweep(
-                None, grid=grid, n_threads=N_THREADS, total_bytes=size,
-                compute=compute, noise_fraction=noise,
-                **iter_kwargs).mean_comm_time
-        for name, module in (
-            ("ploggp", ploggp_aggregator()),
-            ("timer", timer_aggregator(TIMER_DELTA)),
-        ):
-            series = {}
-            for size in sizes:
-                ours = run_sweep(
-                    module, grid=grid, n_threads=N_THREADS,
-                    total_bytes=size, compute=compute,
-                    noise_fraction=noise, **iter_kwargs).mean_comm_time
-                series[size] = base[size] / ours
-            out[f"{label} {name}"] = series
-    return out
+    return run_spec(
+        fig14_spec(grid, sizes, noise_points, iter_kwargs))["series"]
 
 
 def test_fig14_sweep3d(benchmark):
@@ -85,9 +57,4 @@ def test_fig14_sweep3d(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print(f"grid {GRID[0]}x{GRID[1]} x {N_THREADS} threads = "
-          f"{GRID[0] * GRID[1] * N_THREADS} cores")
-    print(format_speedup_series(
-        run_fig14(GRID, SWEEP_SIZES, NOISE_POINTS, SWEEP_ITER)))
-    sys.exit(0)
+    sys.exit(script_main("fig14", __doc__))

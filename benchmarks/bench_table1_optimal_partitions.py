@@ -16,22 +16,13 @@ if __package__ in (None, ""):
 
 import sys
 
-from repro.bench.reporting import format_table
-from repro.model.tables import TABLE1_PAPER, generate_table1
-from repro.units import fmt_bytes
+from repro.exp import run_spec, script_main
+from repro.exp.experiments import table1_report as report, table1_spec
+from repro.model.tables import TABLE1_PAPER
 
 
 def run_table1():
-    return generate_table1()
-
-
-def report(got):
-    rows = []
-    for size, want in TABLE1_PAPER.items():
-        rows.append([fmt_bytes(size), want, got[size],
-                     "ok" if got[size] == want else "MISMATCH"])
-    return format_table(
-        ["aggregate size", "paper", "model", ""], rows)
+    return run_spec(table1_spec())["table"]
 
 
 def test_table1_reproduction(benchmark):
@@ -43,6 +34,4 @@ def test_table1_reproduction(benchmark):
 
 
 if __name__ == "__main__":
-    print(__doc__)
-    print(report(run_table1()))
-    sys.exit(0)
+    sys.exit(script_main("table1", __doc__))

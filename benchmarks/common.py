@@ -2,41 +2,51 @@
 
 Every ``bench_*`` module regenerates one table or figure of the paper:
 run it directly (``python benchmarks/bench_fig06_....py``) for the
-paper-scale sweep with printed rows, or through pytest-benchmark
-(``pytest benchmarks/ --benchmark-only``) for a reduced-size run whose
-reproduced numbers are attached as ``extra_info``.
+paper-scale sweep with printed rows and JSON artifacts, or through
+pytest-benchmark (``pytest benchmarks/ --benchmark-only``) for a
+reduced-size run whose reproduced numbers are attached as
+``extra_info``.  ``repro-bench bench list|run|compare`` drives the
+same experiments through the registry.
 
-Iteration counts follow the paper where tractable: point-to-point
-micro-benchmarks use 10 warm-up + 100 measured iterations, sweeps use
-3 + 10 (Section V-A).
+The knobs themselves live in :mod:`repro.exp.profiles` (the ``paper``
+and ``fast`` presets); this module re-exports them under the
+historical names so existing imports keep working.
 """
 
 from __future__ import annotations
 
 from repro.core import PLogGPAggregator, TimerPLogGPAggregator
+from repro.exp.profiles import (
+    FAST,
+    PAPER,
+    PERCEIVED_COMPUTE,
+    PERCEIVED_NOISE,
+)
 from repro.model.tables import NIAGARA_LOGGP
-from repro.units import KiB, MiB, ms, us
+from repro.units import ms, us
 
 #: Paper iteration counts (full runs).
-PTP_ITER = dict(iterations=100, warmup=10)
-SWEEP_ITER = dict(iterations=10, warmup=3)
+PTP_ITER = PAPER.ptp_iter
+SWEEP_ITER = PAPER.sweep_iter
 
 #: Reduced counts for pytest-benchmark runs.
-FAST_PTP = dict(iterations=10, warmup=2)
-FAST_SWEEP = dict(iterations=3, warmup=1)
+FAST_PTP = FAST.ptp_iter
+FAST_SWEEP = FAST.sweep_iter
 
 #: Message-size grids.
-OVERHEAD_SIZES = [1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB, 128 * KiB,
-                  512 * KiB, 2 * MiB, 4 * MiB, 16 * MiB]
-OVERHEAD_SIZES_FAST = [4 * KiB, 64 * KiB, 512 * KiB, 4 * MiB]
-PERCEIVED_SIZES = [1 * MiB, 4 * MiB, 8 * MiB, 32 * MiB, 128 * MiB]
-PERCEIVED_SIZES_FAST = [1 * MiB, 8 * MiB, 32 * MiB]
-SWEEP_SIZES = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB]
-SWEEP_SIZES_FAST = [256 * KiB, 1 * MiB]
+OVERHEAD_SIZES = list(PAPER.overhead_sizes)
+OVERHEAD_SIZES_FAST = list(FAST.overhead_sizes)
+PERCEIVED_SIZES = list(PAPER.perceived_sizes)
+PERCEIVED_SIZES_FAST = list(FAST.perceived_sizes)
+SWEEP_SIZES = list(PAPER.sweep_sizes)
+SWEEP_SIZES_FAST = list(FAST.sweep_sizes)
 
-#: The paper's compute/noise points (Section V-A).
-PERCEIVED_COMPUTE = 100e-3
-PERCEIVED_NOISE = 0.04
+__all__ = [
+    "FAST_PTP", "FAST_SWEEP", "OVERHEAD_SIZES", "OVERHEAD_SIZES_FAST",
+    "PERCEIVED_COMPUTE", "PERCEIVED_NOISE", "PERCEIVED_SIZES",
+    "PERCEIVED_SIZES_FAST", "PTP_ITER", "SWEEP_ITER", "SWEEP_SIZES",
+    "SWEEP_SIZES_FAST", "ploggp_aggregator", "timer_aggregator",
+]
 
 
 def ploggp_aggregator():

@@ -10,8 +10,16 @@ Installed as ``repro-bench`` (or ``python -m repro.cli``)::
     repro-bench netgauge --sizes 4KiB,64KiB,1MiB
     repro-bench tuning-table --n-user 16 --sizes 64KiB,1MiB
 
+The registered paper experiments run through the ``bench`` group
+(see ``docs/BENCHMARKS.md``)::
+
+    repro-bench bench list
+    repro-bench bench run fig06 fig08 --profile fast --jobs 4
+    repro-bench bench compare BENCH_fig06.json baseline/BENCH_fig06.json
+
 Sizes accept ``B``/``KiB``/``MiB``/``GiB`` suffixes.  Results print as
-the same plain-text tables the ``benchmarks/`` scripts emit.
+the same plain-text tables the ``benchmarks/`` scripts emit; ``bench
+run`` additionally writes versioned JSON artifacts.
 """
 
 from __future__ import annotations
@@ -217,6 +225,63 @@ def cmd_tuning_table(args) -> int:
     return 0
 
 
+def cmd_bench_list(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.exp import all_experiments, get_profile
+
+    rows = []
+    for experiment in all_experiments():
+        row = [experiment.name, experiment.title]
+        if args.points:
+            for profile in ("fast", "paper"):
+                spec = experiment.build(get_profile(profile))
+                row.append(len(spec.points))
+        rows.append(row)
+    headers = ["name", "title"]
+    if args.points:
+        headers += ["fast pts", "paper pts"]
+    print(format_table(headers, rows))
+    return 0
+
+
+def cmd_bench_run(args) -> int:
+    from repro.exp import experiment_names, run_from_options
+
+    names = args.experiments or experiment_names()
+    unknown = sorted(set(names) - set(experiment_names()))
+    if unknown:
+        known = ", ".join(experiment_names())
+        raise SystemExit(
+            f"unknown experiment(s): {', '.join(unknown)} (have: {known})")
+    progress = None if args.quiet else (
+        lambda msg: print(f"  {msg}", file=sys.stderr))
+    for name in names:
+        run = run_from_options(name, args, progress=progress)
+        stats = run.stats
+        print(f"== {name}: {run.experiment.title} "
+              f"[{run.profile.name}] ==")
+        print(run.report)
+        print(f"({stats.unique} points, {stats.cache_hits} cached, "
+              f"{stats.executed} executed, {run.elapsed:.1f}s)")
+        for path in run.paths:
+            print(f"wrote {path}")
+        print()
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from repro.exp import compare_results, load_result
+
+    new = load_result(args.new)
+    baseline = load_result(args.baseline)
+    if new.get("experiment") != baseline.get("experiment"):
+        print(f"warning: comparing {new.get('experiment')!r} against "
+              f"baseline {baseline.get('experiment')!r}", file=sys.stderr)
+    report = compare_results(new, baseline, threshold=args.threshold)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -280,6 +345,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default="64KiB,1MiB")
     common(p)
     p.set_defaults(func=cmd_tuning_table)
+
+    bench = sub.add_parser(
+        "bench", help="registered paper experiments (figures/tables)")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    p = bench_sub.add_parser("list", help="list registered experiments")
+    p.add_argument("--points", action="store_true",
+                   help="also count sweep points per profile")
+    p.set_defaults(func=cmd_bench_list)
+
+    p = bench_sub.add_parser(
+        "run", help="run experiments, write JSON artifacts")
+    p.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                   help="experiment names (default: all registered)")
+    from repro.exp import add_run_options
+
+    add_run_options(p)
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress on stderr")
+    p.set_defaults(func=cmd_bench_run)
+
+    p = bench_sub.add_parser(
+        "compare", help="diff two result artifacts, flag regressions")
+    p.add_argument("new", help="candidate artifact (BENCH_*.json)")
+    p.add_argument("baseline", help="baseline artifact to compare against")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="relative change tolerated before a value counts "
+                        "as regressed (default: %(default)s)")
+    p.set_defaults(func=cmd_bench_compare)
 
     return parser
 

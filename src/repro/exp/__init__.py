@@ -1,0 +1,200 @@
+"""The experiment harness: declarative sweeps, cached and parallel.
+
+This layer separates *what* an experiment measures (a
+:class:`~repro.exp.spec.Scenario` list built by the registry in
+:mod:`repro.exp.experiments`) from *how* the points are executed (the
+:class:`~repro.exp.runner.Runner`, serial or process-parallel, with a
+content-addressed :class:`~repro.exp.cache.ResultCache`) and how the
+outcome is persisted (:class:`~repro.exp.store.ResultStore` artifacts).
+
+Entry points:
+
+* :func:`run_spec` — execute one spec and return its payload (what the
+  thin ``benchmarks/bench_*.py`` wrappers call);
+* :func:`run_experiment` — execute a registered experiment by name,
+  optionally writing result artifacts (what ``repro-bench bench run``
+  and the scripts' ``__main__`` use).
+
+Every sweep point is a pure function of its scenario and the source
+tree, so results are bit-identical across ``--jobs`` settings and safe
+to cache; see :mod:`repro.exp.kinds`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.exp.cache import ResultCache
+from repro.exp.fingerprint import code_fingerprint
+from repro.exp.profiles import (
+    FAST,
+    PAPER,
+    PERCEIVED_COMPUTE,
+    PERCEIVED_NOISE,
+    PROFILES,
+    Profile,
+    get_profile,
+)
+from repro.exp.registry import (
+    Experiment,
+    ExperimentSpec,
+    Metric,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register,
+)
+from repro.exp.runner import Runner, RunStats
+from repro.exp.spec import Scenario, canonical, dedup, grid
+from repro.exp.store import (
+    RESULT_SCHEMA,
+    CompareReport,
+    ResultStore,
+    compare_results,
+    load_result,
+)
+
+__all__ = [
+    "CompareReport", "Experiment", "ExperimentRun", "ExperimentSpec",
+    "FAST", "Metric", "PAPER", "PERCEIVED_COMPUTE", "PERCEIVED_NOISE",
+    "PROFILES", "Profile", "RESULT_SCHEMA", "ResultCache", "ResultStore",
+    "Runner",
+    "RunStats", "Scenario", "all_experiments", "canonical",
+    "code_fingerprint", "compare_results", "dedup", "default_jobs",
+    "experiment_names", "get_experiment", "get_profile", "grid",
+    "load_result", "register", "run_experiment", "run_spec",
+    "script_main",
+]
+
+#: Default location of the sweep-point cache (under ``results/`` so a
+#: ``results`` wipe also drops stale cache state).
+DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+
+def default_jobs() -> int:
+    """Worker count when none is given: ``REPRO_BENCH_JOBS`` or 1."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def run_spec(spec: ExperimentSpec, jobs: Optional[int] = None,
+             cache: Optional[ResultCache] = None,
+             progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Execute one spec's points and return the collected payload."""
+    runner = Runner(jobs=jobs if jobs is not None else default_jobs(),
+                    cache=cache, progress=progress)
+    return spec.collect(runner.run(spec.points))
+
+
+@dataclass
+class ExperimentRun:
+    """Everything :func:`run_experiment` produced."""
+
+    experiment: Experiment
+    profile: Profile
+    spec: ExperimentSpec
+    payload: dict
+    stats: RunStats
+    elapsed: float
+    fingerprint: str
+    paths: list = field(default_factory=list)
+
+    @property
+    def report(self) -> str:
+        return self.spec.report(self.payload)
+
+
+def run_experiment(name: str, profile: Union[str, Profile] = "paper",
+                   jobs: Optional[int] = None,
+                   cache: Optional[ResultCache] = None,
+                   store: Optional[ResultStore] = None,
+                   progress: Optional[Callable[[str], None]] = None,
+                   ) -> ExperimentRun:
+    """Run one registered experiment, optionally persisting artifacts."""
+    experiment = get_experiment(name)
+    prof = profile if isinstance(profile, Profile) else get_profile(profile)
+    spec = experiment.build(prof)
+    runner = Runner(jobs=jobs if jobs is not None else default_jobs(),
+                    cache=cache, progress=progress)
+    start = time.monotonic()
+    results = runner.run(spec.points)
+    elapsed = time.monotonic() - start
+    payload = spec.collect(results)
+    fingerprint = runner.fingerprint or code_fingerprint()
+    run = ExperimentRun(
+        experiment=experiment, profile=prof, spec=spec, payload=payload,
+        stats=runner.last_stats, elapsed=elapsed, fingerprint=fingerprint)
+    if store is not None:
+        run.paths = store.write(
+            name, payload, profile=prof.name, fingerprint=fingerprint,
+            metric=dataclasses.asdict(spec.metric),
+            stats={"points": run.stats.points, "unique": run.stats.unique,
+                   "cache_hits": run.stats.cache_hits,
+                   "executed": run.stats.executed},
+            elapsed=elapsed)
+    return run
+
+
+def add_run_options(parser: argparse.ArgumentParser,
+                    default_profile: str = "paper") -> None:
+    """The shared run flags (used by scripts and the CLI)."""
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default=default_profile,
+                        help="workload preset (default: %(default)s)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes (default: "
+                             "$REPRO_BENCH_JOBS or 1)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="sweep-point cache directory "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point, touch no cache")
+    parser.add_argument("--results-dir", default="results",
+                        help="directory for <name>.json artifacts "
+                             "(default: %(default)s)")
+    parser.add_argument("--bench-dir", default=".",
+                        help="directory for BENCH_<name>.json artifacts "
+                             "(default: repo top level)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="print the table only, write no artifacts")
+
+
+def run_from_options(name: str, options: argparse.Namespace,
+                     progress: Optional[Callable[[str], None]] = None,
+                     ) -> ExperimentRun:
+    """Execute an experiment as the parsed run flags describe."""
+    cache = None if options.no_cache else ResultCache(options.cache_dir)
+    store = None if options.no_store else ResultStore(
+        results_dir=options.results_dir, bench_dir=options.bench_dir)
+    return run_experiment(name, profile=options.profile,
+                          jobs=options.jobs, cache=cache, store=store,
+                          progress=progress)
+
+
+def script_main(name: str, doc: Optional[str] = None,
+                argv: Optional[list] = None) -> int:
+    """Shared ``__main__`` for the thin ``benchmarks/bench_*.py`` scripts.
+
+    Runs the named registered experiment at paper scale by default,
+    prints the classic text table, and writes the versioned JSON
+    artifacts — with caching and ``--jobs`` fan-out for free.
+    """
+    parser = argparse.ArgumentParser(
+        prog=f"bench_{name}", description=f"Regenerate {name}")
+    add_run_options(parser)
+    options = parser.parse_args(argv)
+    if doc:
+        print(doc)
+    run = run_from_options(name, options, progress=print)
+    print(run.report)
+    for path in run.paths:
+        print(f"wrote {path}")
+    return 0

@@ -1,0 +1,37 @@
+"""Code fingerprinting for cache invalidation.
+
+A cached sweep-point result is only valid for the exact code that
+produced it: the cache key is (scenario digest, code fingerprint), and
+the fingerprint is a content hash over every ``repro`` source file.
+Any edit anywhere in ``src/repro`` — cost model, module, engine —
+invalidates every cached point, which is exactly the conservative
+behaviour a bit-identical reproduction needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from typing import Optional
+
+_cached: Optional[str] = None
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """Content hash of the ``repro`` package sources (hex digest)."""
+    global _cached
+    if _cached is not None and not refresh:
+        return _cached
+    import repro
+
+    root = pathlib.Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        h.update(path.relative_to(root).as_posix().encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    _cached = h.hexdigest()
+    return _cached

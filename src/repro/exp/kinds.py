@@ -1,0 +1,163 @@
+"""Measurement kinds: the pure functions that execute one sweep point.
+
+:func:`run_point` is the single entry the runner (and its worker
+processes) call.  Every kind builds its own cluster from the scenario
+parameters — nothing leaks between points, so a point's result is a
+pure function of its scenario and the code fingerprint, regardless of
+which process executes it or in what order.  That property is what
+makes serial and parallel sweeps bit-identical and cached results
+trustworthy.
+
+Each kind returns a flat JSON-safe metrics dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.exp.modules import build_config, build_module, build_topology
+
+KINDS: dict[str, Callable[[dict], dict]] = {}
+
+
+def kind(name: str):
+    def decorate(fn):
+        KINDS[name] = fn
+        return fn
+    return decorate
+
+
+def run_point(point: dict) -> dict:
+    """Execute one sweep point described as ``{"kind", "params"}``."""
+    try:
+        fn = KINDS[point["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown scenario kind {point['kind']!r}") from None
+    return fn(point["params"])
+
+
+def _config(params: dict):
+    from repro.config import NIAGARA
+
+    config = build_config(params.get("config")) or NIAGARA
+    if params.get("seed") is not None:
+        config = config.with_changes(seed=params["seed"])
+    return config
+
+
+@kind("overhead")
+def _overhead(p: dict) -> dict:
+    from repro.bench.overhead import run_overhead
+
+    res = run_overhead(
+        build_module(p["module"]), n_user=p["n_user"],
+        total_bytes=p["total_bytes"], iterations=p["iterations"],
+        warmup=p["warmup"], config=_config(p))
+    return {"mean_time": res.mean_time}
+
+
+@kind("perceived")
+def _perceived(p: dict) -> dict:
+    from repro.bench.perceived import run_perceived_bandwidth
+
+    schedule = None
+    if p.get("loss"):
+        from repro.faults import FaultSchedule
+
+        schedule = FaultSchedule().chunk_loss(p["loss"])
+    res = run_perceived_bandwidth(
+        build_module(p["module"]), n_user=p["n_user"],
+        total_bytes=p["total_bytes"], compute=p["compute"],
+        noise_fraction=p["noise_fraction"], iterations=p["iterations"],
+        warmup=p["warmup"], config=_config(p), fault_schedule=schedule)
+    pair = res.result
+    return {
+        "perceived_bandwidth": res.perceived_bandwidth,
+        "wrs_posted": pair.wrs_posted,
+        "retransmits": int(pair.counters.get("ib.retransmits", 0)),
+    }
+
+
+@kind("sweep")
+def _sweep(p: dict) -> dict:
+    from repro.bench.sweep import run_sweep
+
+    res = run_sweep(
+        build_module(p["module"]), grid=tuple(p["grid"]),
+        n_threads=p["n_threads"], total_bytes=p["total_bytes"],
+        compute=p["compute"], noise_fraction=p["noise_fraction"],
+        iterations=p["iterations"], warmup=p["warmup"], config=_config(p))
+    return {
+        "mean_time": res.mean_time,
+        "mean_comm_time": res.mean_comm_time,
+        "critical_path_compute": res.critical_path_compute,
+    }
+
+
+@kind("halo")
+def _halo(p: dict) -> dict:
+    from repro.bench.halo import run_halo
+
+    res = run_halo(
+        build_module(p["module"]), grid=tuple(p["grid"]),
+        n_threads=p["n_threads"], face_bytes=p["face_bytes"],
+        compute=p["compute"], noise_fraction=p["noise_fraction"],
+        iterations=p["iterations"], warmup=p["warmup"],
+        topology=build_topology(p.get("topology")), config=_config(p))
+    return {"mean_time": res.mean_time, "mean_comm_time": res.mean_comm_time}
+
+
+@kind("arrival_profile")
+def _arrival_profile(p: dict) -> dict:
+    from repro.bench.pair import run_partitioned_pair
+    from repro.mpi.persist_module import PersistSpec
+    from repro.profiler import arrival_profile
+    from repro.runtime import SingleThreadDelay
+
+    n_user = p["n_user"]
+    partition_size = p["total_bytes"] // n_user
+    result = run_partitioned_pair(
+        PersistSpec, n_user=n_user, partition_size=partition_size,
+        compute=p["compute"], noise=SingleThreadDelay(p["noise_fraction"]),
+        iterations=p["iterations"], warmup=p["warmup"], config=_config(p))
+    rounds = [[t - min(r) for t in r] for r in result.arrival_rounds()]
+    profile = arrival_profile(rounds, partition_size=partition_size)
+    return {
+        "partition_size": profile.partition_size,
+        "compute_spans": list(profile.compute_spans),
+        "comm_span": profile.comm_span,
+    }
+
+
+@kind("min_delta")
+def _min_delta(p: dict) -> dict:
+    from repro.bench.overhead import _spec_factory
+    from repro.bench.pair import run_partitioned_pair
+    from repro.core import estimate_min_delta
+    from repro.runtime import SingleThreadDelay
+
+    result = run_partitioned_pair(
+        _spec_factory(build_module(p["module"])), n_user=p["n_user"],
+        partition_size=p["total_bytes"] // p["n_user"],
+        compute=p["compute"], noise=SingleThreadDelay(p["noise_fraction"]),
+        iterations=p["iterations"], warmup=p["warmup"], config=_config(p))
+    return {"min_delta": estimate_min_delta(result.arrival_rounds())}
+
+
+@kind("model_curve")
+def _model_curve(p: dict) -> dict:
+    from repro.model import model_curve
+    from repro.model.tables import NIAGARA_LOGGP
+
+    times = model_curve(
+        NIAGARA_LOGGP, list(p["sizes"]), n_transport=p["n"],
+        n_user=p["n"], delay=p["delay"])
+    return {"times": [float(t) for t in times]}
+
+
+@kind("table1")
+def _table1(p: dict) -> dict:
+    from repro.model.tables import generate_table1
+
+    return {"table": {str(size): n
+                      for size, n in generate_table1().items()}}

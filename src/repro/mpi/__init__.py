@@ -25,7 +25,7 @@ from repro.mpi.request import (
     PsendRequest,
     PrecvRequest,
 )
-from repro.mpi.progress import ProgressEngine
+from repro.engine.progress import ProgressEngine
 from repro.mpi.collectives import allreduce, barrier, bcast, reduce
 
 __all__ = [

@@ -1,11 +1,21 @@
-"""Compatibility re-export: the progress engine moved to the engine layer.
+"""Deprecated re-export: the progress engine moved to the engine layer.
 
 The :class:`ProgressEngine` is now the *driver* of the transport engine
 (:mod:`repro.engine`) rather than a peer of the MPI modules; it lives in
-:mod:`repro.engine.progress`.  This module keeps the historical import
-path working.
+:mod:`repro.engine.progress`.  Importing it from here still works but
+raises a :class:`DeprecationWarning`; update imports to
+``repro.engine.progress``.
 """
 
+import warnings
+
 from repro.engine.progress import _IDLE_FALLBACK, Poller, ProgressEngine
+
+warnings.warn(
+    "repro.mpi.progress is deprecated; import ProgressEngine and Poller "
+    "from repro.engine.progress instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["ProgressEngine", "Poller", "_IDLE_FALLBACK"]

@@ -1,0 +1,74 @@
+"""Result cache: hit/miss semantics, atomicity, fingerprint invalidation."""
+
+import json
+
+from repro.exp.cache import ResultCache
+from repro.exp.spec import Scenario
+
+
+def make_point(**params):
+    return Scenario.make("overhead", **params)
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    point = make_point(n_user=32)
+    digest = point.digest("fp")
+    assert cache.get(digest) is None
+    cache.put(digest, point, "fp", {"mean_time": 1.5})
+    assert cache.get(digest) == {"mean_time": 1.5}
+    assert len(cache) == 1
+
+
+def test_fingerprint_change_invalidates(tmp_path):
+    cache = ResultCache(tmp_path)
+    point = make_point(n_user=32)
+    cache.put(point.digest("code-v1"), point, "code-v1",
+              {"mean_time": 1.5})
+    assert cache.get(point.digest("code-v2")) is None
+    assert cache.get(point.digest("code-v1")) == {"mean_time": 1.5}
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    point = make_point(n_user=32)
+    digest = point.digest("fp")
+    cache.put(digest, point, "fp", {"mean_time": 1.5})
+    cache.path(digest).write_text("{not json", encoding="utf-8")
+    assert cache.get(digest) is None
+
+
+def test_schema_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    point = make_point(n_user=32)
+    digest = point.digest("fp")
+    cache.put(digest, point, "fp", {"mean_time": 1.5})
+    entry = json.loads(cache.path(digest).read_text(encoding="utf-8"))
+    entry["schema"] = "someone-else/v9"
+    cache.path(digest).write_text(json.dumps(entry), encoding="utf-8")
+    assert cache.get(digest) is None
+
+
+def test_put_is_atomic_no_tmp_left_behind(tmp_path):
+    cache = ResultCache(tmp_path)
+    point = make_point(n_user=32)
+    cache.put(point.digest("fp"), point, "fp", {"mean_time": 1.5})
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".json"]
+    assert leftovers == []
+
+
+def test_floats_round_trip_bit_exactly(tmp_path):
+    cache = ResultCache(tmp_path)
+    point = make_point(n_user=32)
+    digest = point.digest("fp")
+    value = 1.0 / 3.0
+    cache.put(digest, point, "fp", {"mean_time": value})
+    assert cache.get(digest)["mean_time"].hex() == value.hex()
+
+
+def test_missing_directory_created_lazily(tmp_path):
+    cache = ResultCache(tmp_path / "deep" / "cache")
+    point = make_point(n_user=32)
+    assert cache.get(point.digest("fp")) is None
+    cache.put(point.digest("fp"), point, "fp", {"mean_time": 2.0})
+    assert cache.get(point.digest("fp")) == {"mean_time": 2.0}

@@ -1,0 +1,47 @@
+"""Whole-config overrides travel through scenarios as JSON descriptors."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import NIAGARA
+from repro.exp.experiments import PERSIST, _overhead
+from repro.exp.modules import build_config, config_desc
+
+
+def test_round_trip_is_lossless():
+    assert build_config(config_desc(NIAGARA)) == NIAGARA
+    assert config_desc(None) is None
+    assert build_config(None) is None
+
+
+def test_non_default_sections_survive():
+    cfg = replace(NIAGARA, nic=replace(NIAGARA.nic, n_ports=2), seed=7)
+    rebuilt = build_config(config_desc(cfg))
+    assert rebuilt.nic.n_ports == 2
+    assert rebuilt.seed == 7
+    assert rebuilt == cfg
+
+
+def test_build_config_validates():
+    desc = config_desc(NIAGARA)
+    desc["seed"] = -1
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        build_config(desc)
+
+
+def test_overhead_helper_converts_live_config():
+    """Legacy scripts pass config=ClusterConfig in their kwargs dicts
+    (e.g. the multi-rail test); the spec layer must serialise it."""
+    cfg = replace(NIAGARA, nic=replace(NIAGARA.nic, n_ports=2))
+    it = {"iterations": 2, "warmup": 1, "config": cfg}
+    point = _overhead(PERSIST, 4, 4096, it)
+    desc = point.params["config"]
+    assert isinstance(desc, dict)
+    assert desc["nic"]["n_ports"] == 2
+    # Without a config the param is absent, keeping digests (and the
+    # checked-in goldens) stable.
+    plain = _overhead(PERSIST, 4, 4096, {"iterations": 2, "warmup": 1})
+    assert "config" not in plain.params

@@ -1,0 +1,37 @@
+"""Determinism guard: serial and parallel runs are bit-identical.
+
+Every sweep point builds its own cluster with config-seeded RNG
+streams, so a result is a pure function of (scenario, code).  The
+harness leans on that for everything — caching, resume, fan-out — so
+this test holds it to the strongest possible standard: the fig. 6 and
+fig. 8 mini-sweeps must produce byte-for-byte identical payloads under
+``jobs=1`` and ``jobs=4`` (arbitrary completion order), and both must
+equal the checked-in goldens from ``tests/test_bench``.  Floats are
+compared through ``float.hex`` — no tolerance.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.common import FAST_PTP, OVERHEAD_SIZES_FAST
+from repro.exp import run_spec
+from repro.exp.experiments import FIG08_SIZES_FAST, fig06_spec, fig08_spec
+from tests.test_bench.test_golden import encode, load
+
+
+def canonical_series(payload):
+    return json.loads(json.dumps(encode(payload["series"])))
+
+
+@pytest.mark.parametrize("name,spec", [
+    ("fig06_mini.json",
+     fig06_spec(OVERHEAD_SIZES_FAST, FAST_PTP)),
+    ("fig08_mini.json",
+     fig08_spec([4, 32], list(FIG08_SIZES_FAST), FAST_PTP, 3)),
+], ids=["fig06", "fig08"])
+def test_mini_sweep_serial_parallel_and_golden_agree(name, spec):
+    serial = canonical_series(run_spec(spec, jobs=1, cache=None))
+    parallel = canonical_series(run_spec(spec, jobs=4, cache=None))
+    assert serial == parallel
+    assert serial == load(name)

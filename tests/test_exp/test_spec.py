@@ -1,0 +1,69 @@
+"""Scenario hashing, canonical encoding, grids and dedup."""
+
+import pytest
+
+from repro.exp.spec import Scenario, canonical, dedup, grid
+
+
+def test_canonical_is_order_insensitive():
+    assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+
+def test_canonical_normalizes_tuples_to_lists():
+    assert (canonical({"sizes": (1, 2, 3)})
+            == canonical({"sizes": [1, 2, 3]}))
+
+
+def test_canonical_rejects_live_objects():
+    class Thing:
+        pass
+
+    with pytest.raises(TypeError, match="not\\s+JSON-safe"):
+        canonical({"module": Thing()})
+
+
+def test_scenarios_with_equal_params_are_equal_and_hash_equal():
+    a = Scenario.make("overhead", n_user=32, total_bytes=4096)
+    b = Scenario.make("overhead", total_bytes=4096, n_user=32)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a.digest() == b.digest()
+
+
+def test_params_round_trip():
+    point = Scenario.make("perceived", module=["ploggp", {"delay": 0.004}],
+                          noise_fraction=0.04)
+    assert point.params == {"module": ["ploggp", {"delay": 0.004}],
+                            "noise_fraction": 0.04}
+    assert point.as_dict()["kind"] == "perceived"
+
+
+def test_digest_depends_on_kind_params_and_fingerprint():
+    a = Scenario.make("overhead", n_user=32)
+    assert a.digest() != Scenario.make("perceived", n_user=32).digest()
+    assert a.digest() != Scenario.make("overhead", n_user=16).digest()
+    assert a.digest("code-v1") != a.digest("code-v2")
+    assert a.digest("code-v1") == a.digest("code-v1")
+
+
+def test_float_params_round_trip_bit_exactly():
+    value = 0.1 + 0.2  # not representable prettily
+    point = Scenario.make("overhead", compute=value)
+    assert point.params["compute"].hex() == value.hex()
+
+
+def test_grid_is_cartesian_product_in_axis_order():
+    points = grid("overhead", {"n_user": 32},
+                  total_bytes=[1, 2], module=[["persist"], ["ploggp"]])
+    assert len(points) == 4
+    assert points[0].params == {"n_user": 32, "total_bytes": 1,
+                                "module": ["persist"]}
+    # Last axis varies fastest.
+    assert points[1].params["module"] == ["ploggp"]
+    assert points[2].params["total_bytes"] == 2
+
+
+def test_dedup_keeps_first_seen_order():
+    a = Scenario.make("overhead", n_user=1)
+    b = Scenario.make("overhead", n_user=2)
+    assert dedup([a, b, a, b, a]) == [a, b]

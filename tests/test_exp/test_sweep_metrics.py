@@ -1,0 +1,52 @@
+"""Unit tests for the derived metrics on bench.sweep.SweepResult.
+
+The harness's ``sweep`` kind reports ``mean_comm_time`` and
+``critical_path_compute`` straight off this dataclass (fig. 14 divides
+the former), so their algebra is pinned here with hand-computable
+numbers, independent of any simulation.
+"""
+
+import pytest
+
+from repro.bench.sweep import SweepResult
+
+
+def make_result(grid=(4, 3), compute=2.0, times=()):
+    return SweepResult(grid=grid, n_threads=4, total_bytes=1 << 20,
+                       compute=compute, noise_fraction=0.0,
+                       times=list(times))
+
+
+def test_critical_path_is_manhattan_distance_times_compute():
+    # A (px x py) wavefront has px + py - 1 stages on the critical path.
+    assert make_result(grid=(4, 3), compute=2.0).critical_path_compute \
+        == pytest.approx((4 + 3 - 1) * 2.0)
+    assert make_result(grid=(1, 1), compute=5.0).critical_path_compute \
+        == pytest.approx(5.0)
+    assert make_result(grid=(8, 8), compute=1e-3).critical_path_compute \
+        == pytest.approx(15e-3)
+
+
+def test_mean_time_is_plain_average():
+    result = make_result(times=[10.0, 14.0, 18.0])
+    assert result.mean_time == pytest.approx(14.0)
+
+
+def test_mean_comm_time_subtracts_compute_critical_path():
+    # grid (4, 3), compute 2.0 -> critical path 12.0 of pure compute;
+    # whatever remains of each iteration is communication.
+    result = make_result(grid=(4, 3), compute=2.0,
+                         times=[13.0, 15.0, 17.0])
+    assert result.mean_comm_time == pytest.approx(3.0)
+    assert result.mean_comm_time == pytest.approx(
+        result.mean_time - result.critical_path_compute)
+
+
+def test_comm_time_invariant_under_compute_shift():
+    """Inflating compute while shifting every sample by the same
+    critical-path amount leaves the communication estimate unchanged."""
+    base = make_result(grid=(4, 3), compute=1.0, times=[7.0, 9.0])
+    shift = (4 + 3 - 1) * 1.0  # extra critical path from compute 1 -> 2
+    shifted = make_result(grid=(4, 3), compute=2.0,
+                          times=[7.0 + shift, 9.0 + shift])
+    assert shifted.mean_comm_time == pytest.approx(base.mean_comm_time)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mpi.progress import ProgressEngine
+from repro.engine.progress import ProgressEngine
 from repro.sim import Environment
 from repro.units import ns
 
@@ -163,3 +163,17 @@ def test_watch_cq_kicks():
     env.run()
     assert p.value == pytest.approx(3e-6, rel=0.5)
     assert len(seen) == 1
+
+
+def test_mpi_progress_shim_warns_and_reexports():
+    """The legacy import path still works but raises DeprecationWarning."""
+    import importlib
+    import sys
+    import warnings
+
+    sys.modules.pop("repro.mpi.progress", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = importlib.import_module("repro.mpi.progress")
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    assert shim.ProgressEngine is ProgressEngine

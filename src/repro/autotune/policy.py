@@ -1,0 +1,344 @@
+"""Tuning policies: how the controller picks the next round's plan.
+
+A :class:`Policy` maps the observation stream to a
+:class:`PlanChoice` — the ``(n_transport, n_qps, δ)`` triple applied to
+the next round.  Three implementations span the design space the paper
+left open (Section IV-D, "an online auto-tuning approach could be
+used"):
+
+* :class:`StaticPolicy` — one fixed choice; wraps the paper's
+  open-loop aggregators so the controller machinery can be validated
+  against them bit for bit.
+* :class:`DeltaTrackerPolicy` — keeps the transport layout fixed and
+  retargets δ to the observed non-laggard arrival-spread quantile, the
+  measurement-guided replacement for Fig. 12's offline min-δ table.
+* :class:`BanditPolicy` — epsilon-greedy or UCB1 search over a
+  candidate plan set seeded by the PLogGP prediction
+  (:func:`candidate_plans`), the cheap incremental replacement for the
+  23-hour brute-force table.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.core.aggregators import _qps_for
+from repro.errors import ConfigError, TuningError
+from repro.model.ploggp import ParamsLike, optimal_transport_partitions
+from repro.units import is_power_of_two, powers_of_two
+
+from repro.autotune.observe import ArrivalTracker, IterationObservation
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One point in the tuning space (a round-applicable plan)."""
+
+    n_transport: int
+    n_qps: int
+    #: δ-timer value; None = plain (non-timer) path.
+    delta: Optional[float] = None
+
+    def __post_init__(self):
+        if not is_power_of_two(self.n_transport):
+            raise ConfigError(
+                f"n_transport must be a power of two, got {self.n_transport}")
+        if self.n_qps < 1:
+            raise ConfigError(f"need at least one QP, got {self.n_qps}")
+        if self.delta is not None and self.delta < 0:
+            raise ConfigError(f"negative delta: {self.delta}")
+
+    def validate_for(self, n_user: int) -> None:
+        if self.n_transport > n_user:
+            raise TuningError(
+                f"choice n_transport {self.n_transport} exceeds "
+                f"n_user {n_user}")
+
+    def as_dict(self) -> dict:
+        return {"n_transport": self.n_transport, "n_qps": self.n_qps,
+                "delta": self.delta}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PlanChoice":
+        return cls(n_transport=int(d["n_transport"]),
+                   n_qps=int(d["n_qps"]),
+                   delta=None if d.get("delta") is None else float(d["delta"]))
+
+
+class Policy(abc.ABC):
+    """Strategy interface for closed-loop plan selection."""
+
+    @abc.abstractmethod
+    def candidates(self) -> list[PlanChoice]:
+        """Every choice this policy may ever return."""
+
+    @abc.abstractmethod
+    def choose(self, round_no: int) -> PlanChoice:
+        """The plan to apply for ``round_no``."""
+
+    def observe(self, choice: PlanChoice, obs: IterationObservation,
+                tracker: ArrivalTracker) -> None:
+        """Feedback: ``choice`` ran and produced ``obs``."""
+
+    @abc.abstractmethod
+    def best(self) -> PlanChoice:
+        """Current best estimate (what the store should persist)."""
+
+    @property
+    def confident(self) -> bool:
+        """True once :meth:`best` is worth persisting."""
+        return False
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class StaticPolicy(Policy):
+    """A single fixed choice (open-loop plan inside the closed loop)."""
+
+    def __init__(self, choice: PlanChoice):
+        self.choice = choice
+
+    def candidates(self):
+        return [self.choice]
+
+    def choose(self, round_no):
+        return self.choice
+
+    def best(self):
+        return self.choice
+
+    @property
+    def confident(self):
+        return True
+
+    def describe(self):
+        return f"static({self.choice.n_transport}T/{self.choice.n_qps}QP)"
+
+
+class DeltaTrackerPolicy(Policy):
+    """Retarget δ to the observed arrival-spread quantile.
+
+    Transport layout stays at ``base``; after each round δ moves toward
+    ``margin x spread_quantile(quantile)`` with EWMA smoothing
+    ``alpha``, clamped to ``[min_delta, max_delta]``.  Where the
+    existing :class:`~repro.core.aggregators.AdaptiveDelta` smooths the
+    per-round spread itself, this policy steers on a windowed quantile,
+    so one quiet round cannot collapse δ below the recurring skew.
+    """
+
+    def __init__(self, base: PlanChoice, quantile: float = 0.95,
+                 margin: float = 1.25, alpha: float = 0.5,
+                 min_delta: float = 1e-6, max_delta: float = 1e-3,
+                 warm_rounds: int = 4):
+        if base.delta is None:
+            raise ConfigError("DeltaTrackerPolicy needs a δ-armed base plan")
+        if not (0 < quantile <= 1):
+            raise ConfigError(f"quantile must be in (0, 1], got {quantile}")
+        if margin <= 0:
+            raise ConfigError(f"margin must be positive, got {margin}")
+        if not (0 < alpha <= 1):
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        if not (0 < min_delta <= max_delta):
+            raise ConfigError("need 0 < min_delta <= max_delta")
+        if warm_rounds < 1:
+            raise ConfigError(f"warm_rounds must be >= 1, got {warm_rounds}")
+        self.base = base
+        self.quantile = quantile
+        self.margin = margin
+        self.alpha = alpha
+        self.min_delta = min_delta
+        self.max_delta = max_delta
+        self.warm_rounds = warm_rounds
+        self._delta = base.delta
+        self._rounds = 0
+
+    def candidates(self):
+        return [self.base]
+
+    def choose(self, round_no):
+        return PlanChoice(n_transport=self.base.n_transport,
+                          n_qps=self.base.n_qps, delta=self._delta)
+
+    def observe(self, choice, obs, tracker):
+        self._rounds += 1
+        if not tracker.ready:
+            return
+        target = self.margin * tracker.spread_quantile(self.quantile)
+        blended = (1 - self.alpha) * self._delta + self.alpha * target
+        self._delta = min(max(blended, self.min_delta), self.max_delta)
+
+    def best(self):
+        return PlanChoice(n_transport=self.base.n_transport,
+                          n_qps=self.base.n_qps, delta=self._delta)
+
+    @property
+    def confident(self):
+        return self._rounds >= self.warm_rounds
+
+    def describe(self):
+        return (f"delta-tracker(q={self.quantile}, "
+                f"delta={self._delta:.3e})")
+
+
+class BanditPolicy(Policy):
+    """Multi-armed bandit over a candidate plan set.
+
+    ``mode="epsilon"`` plays every arm once, then exploits the lowest
+    mean completion time except with probability
+    ``epsilon x decay^t`` (decaying exploration).  ``mode="ucb"``
+    plays UCB1 on cost, with the confidence radius scaled by the
+    overall mean cost so the bound is unit-free.
+
+    Deterministic given ``seed`` — exploration draws come from
+    ``numpy.random.default_rng(seed)``.
+    """
+
+    def __init__(self, arms: Sequence[PlanChoice], epsilon: float = 0.2,
+                 decay: float = 0.95, mode: str = "epsilon",
+                 exploration: float = 1.0, seed: int = 0,
+                 min_confident_plays: int = 2):
+        arms = list(arms)
+        if not arms:
+            raise ConfigError("BanditPolicy needs at least one arm")
+        if len(set(arms)) != len(arms):
+            raise ConfigError("duplicate bandit arms")
+        if not (0 <= epsilon <= 1):
+            raise ConfigError(f"epsilon must be in [0, 1], got {epsilon}")
+        if not (0 < decay <= 1):
+            raise ConfigError(f"decay must be in (0, 1], got {decay}")
+        if mode not in ("epsilon", "ucb"):
+            raise ConfigError(f"unknown bandit mode: {mode!r}")
+        self.arms = arms
+        self.epsilon = epsilon
+        self.decay = decay
+        self.mode = mode
+        self.exploration = exploration
+        self.min_confident_plays = min_confident_plays
+        self._rng = np.random.default_rng(seed)
+        self._plays = [0] * len(arms)
+        self._mean_cost = [0.0] * len(arms)
+        self._steps = 0
+
+    def candidates(self):
+        return list(self.arms)
+
+    def _best_index(self) -> int:
+        played = [(self._mean_cost[i], i)
+                  for i in range(len(self.arms)) if self._plays[i]]
+        if not played:
+            return 0
+        return min(played)[1]
+
+    def choose(self, round_no):
+        # Initial sweep: every arm gets one pull before any exploitation.
+        for i, plays in enumerate(self._plays):
+            if plays == 0:
+                return self.arms[i]
+        self._steps += 1
+        if self.mode == "ucb":
+            total = sum(self._plays)
+            scale = sum(
+                c * p for c, p in zip(self._mean_cost, self._plays)) / total
+            best = min(
+                range(len(self.arms)),
+                key=lambda i: (
+                    self._mean_cost[i]
+                    - self.exploration * scale
+                    * math.sqrt(2 * math.log(total) / self._plays[i]),
+                    i,
+                ))
+            return self.arms[best]
+        eps = self.epsilon * self.decay ** self._steps
+        if self._rng.random() < eps:
+            return self.arms[int(self._rng.integers(len(self.arms)))]
+        return self.arms[self._best_index()]
+
+    def observe(self, choice, obs, tracker):
+        try:
+            i = self.arms.index(choice)
+        except ValueError:
+            return  # a pinned/foreign choice; nothing to credit
+        self._plays[i] += 1
+        n = self._plays[i]
+        self._mean_cost[i] += (obs.completion_time - self._mean_cost[i]) / n
+
+    def best(self):
+        return self.arms[self._best_index()]
+
+    @property
+    def confident(self):
+        if any(p == 0 for p in self._plays):
+            return False
+        return self._plays[self._best_index()] >= self.min_confident_plays
+
+    def mean_cost(self, choice: PlanChoice) -> Optional[float]:
+        """Observed mean completion time of ``choice`` (None if unplayed)."""
+        try:
+            i = self.arms.index(choice)
+        except ValueError:
+            return None
+        return self._mean_cost[i] if self._plays[i] else None
+
+    def describe(self):
+        played = sum(1 for p in self._plays if p)
+        return (f"bandit({self.mode}, {played}/{len(self.arms)} arms "
+                f"played)")
+
+
+def candidate_plans(
+    n_user: int,
+    partition_size: int,
+    config: ClusterConfig,
+    params: Optional[ParamsLike] = None,
+    delay: float = 0.0,
+    counts: Optional[Sequence[int]] = None,
+    deltas: Sequence[Optional[float]] = (None,),
+    span: int = 2,
+) -> list[PlanChoice]:
+    """Candidate ``(n_transport, n_qps, δ)`` arms for a bandit.
+
+    With ``params`` given, the arm set is *seeded by the PLogGP
+    prediction*: transport counts are the powers of two within
+    ``2^span`` of the model's optimum (clipped to ``[1, n_user]``), so
+    the bandit explores a neighbourhood of the model instead of the
+    whole space.  ``counts`` overrides the seeding with an explicit
+    list.  Per count, QP candidates are 1 and the WR-limit-derived
+    count; each combination is crossed with every δ in ``deltas``
+    (None = plain path).
+    """
+    if not is_power_of_two(n_user):
+        raise TuningError(f"n_user must be a power of two, got {n_user}")
+    if not deltas:
+        raise TuningError("need at least one delta candidate")
+    if counts is not None:
+        chosen = sorted(set(int(c) for c in counts))
+        for c in chosen:
+            if not is_power_of_two(c) or c > n_user:
+                raise TuningError(
+                    f"candidate transport count {c} invalid for "
+                    f"n_user {n_user}")
+    elif params is not None:
+        seed_t = optimal_transport_partitions(
+            params, n_user * partition_size, n_user=n_user, delay=delay,
+            max_transport=n_user)
+        lo = max(1, seed_t >> span)
+        hi = min(n_user, seed_t << span)
+        chosen = list(powers_of_two(lo, hi))
+    else:
+        chosen = list(powers_of_two(1, n_user))
+    arms = []
+    for t in chosen:
+        qp_candidates = sorted({1, _qps_for(t, t, config),
+                                _qps_for(t, n_user, config)})
+        for n_qps in qp_candidates:
+            for delta in deltas:
+                arms.append(PlanChoice(n_transport=t, n_qps=n_qps,
+                                       delta=delta))
+    return arms

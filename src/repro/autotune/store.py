@@ -1,0 +1,115 @@
+"""Persistent tuning store: learned plans that survive the process.
+
+A :class:`TuningStore` is a directory of JSON files, one per learned
+``(workload, cluster) → plan`` entry, keyed the same way the ``exp``
+result cache keys scenarios: the workload descriptor is canonicalized
+(:func:`repro.exp.spec.canonical`) and hashed, so any process that can
+describe its workload the same way finds the same entry — a cheap,
+incremental replacement for the 23-hour brute-force table that grows
+one converged run at a time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.autotune.policy import PlanChoice
+
+SCHEMA = "repro-autotune-store/v1"
+
+
+def workload_key(n_user: int, message_size: int,
+                 config_tag: str = "", **extra) -> dict:
+    """The canonical identity of a tuning entry.
+
+    ``config_tag`` distinguishes clusters (use the config name or a
+    hash); ``extra`` admits workload dimensions a caller cares about
+    (compute phase, noise profile, ...).
+    """
+    key = {"n_user": int(n_user), "message_size": int(message_size),
+           "config": config_tag}
+    key.update(extra)
+    return key
+
+
+def _digest(key: dict) -> str:
+    # Late import: repro.exp imports benchmarks which import core, and
+    # core.aggregators is imported by this package's policy module.
+    from repro.exp.spec import canonical
+    return hashlib.sha256(canonical(key).encode()).hexdigest()[:24]
+
+
+class TuningStore:
+    """Content-addressed on-disk store of learned plans."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: dict) -> Path:
+        return self.root / f"{_digest(key)}.json"
+
+    def get(self, key: dict) -> Optional[PlanChoice]:
+        """The stored plan for ``key``, or None (missing/corrupt)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != SCHEMA:
+            return None
+        try:
+            return PlanChoice.from_dict(payload["plan"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: dict, choice: PlanChoice,
+            meta: Optional[dict] = None) -> Path:
+        """Persist ``choice`` under ``key`` (atomic replace)."""
+        path = self._path(key)
+        payload = {
+            "schema": SCHEMA,
+            "key": key,
+            "plan": choice.as_dict(),
+            "meta": meta or {},
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> list[dict]:
+        """Every readable entry's full payload (sorted by digest)."""
+        out = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if payload.get("schema") != SCHEMA:
+                continue
+            out.append(payload)
+        return out
+
+    def lookup(self, n_user: int, message_size: int,
+               config_tag: str = "", **extra) -> Optional[PlanChoice]:
+        """Convenience: :meth:`get` on a :func:`workload_key`."""
+        return self.get(workload_key(n_user, message_size,
+                                     config_tag, **extra))
+
+    def __len__(self) -> int:
+        return len(self.entries())

@@ -9,6 +9,8 @@ Installed as ``repro-bench`` (or ``python -m repro.cli``)::
     repro-bench sweep --grid 4x4 --sizes 256KiB,1MiB --noise 0.01
     repro-bench netgauge --sizes 4KiB,64KiB,1MiB
     repro-bench tuning-table --n-user 16 --sizes 64KiB,1MiB
+    repro-bench autotune tune --sizes 256KiB,2MiB --store results/store
+    repro-bench autotune show --store results/store
 
 The registered paper experiments run through the ``bench`` group
 (see ``docs/BENCHMARKS.md``)::
@@ -228,19 +230,84 @@ def cmd_tuning_table(args) -> int:
 def cmd_bench_list(args) -> int:
     from repro.bench.reporting import format_table
     from repro.exp import all_experiments, get_profile
+    from repro.exp.profiles import PROFILES
 
+    profiles = sorted(PROFILES)
     rows = []
     for experiment in all_experiments():
-        row = [experiment.name, experiment.title]
+        row = [experiment.name, experiment.title, ", ".join(profiles)]
         if args.points:
-            for profile in ("fast", "paper"):
+            for profile in profiles:
                 spec = experiment.build(get_profile(profile))
                 row.append(len(spec.points))
         rows.append(row)
-    headers = ["name", "title"]
+    headers = ["name", "title", "profiles"]
     if args.points:
-        headers += ["fast pts", "paper pts"]
+        headers += [f"{name} pts" for name in profiles]
     print(format_table(headers, rows))
+    return 0
+
+
+def cmd_autotune_tune(args) -> int:
+    from repro.autotune import TuningStore
+    from repro.bench.autotune import run_autotuned_pair
+    from repro.bench.reporting import format_table
+
+    store = TuningStore(args.store)
+    params = {"policy": args.policy, "config_tag": args.config_tag}
+    if args.policy == "bandit":
+        params["deltas"] = [None, us(args.delta_us)]
+        params["bandit_seed"] = args.seed
+    else:
+        params["delta"] = us(args.delta_us)
+    rows = []
+    for size in parse_sizes(args.sizes):
+        res = run_autotuned_pair(
+            params, n_user=args.n_user, total_bytes=size,
+            compute=ms(args.compute_ms), noise_fraction=args.noise,
+            iterations=args.iterations, warmup=args.warmup, store=store)
+        plan = res.best_plan or {}
+        delta = plan.get("delta")
+        rows.append([
+            fmt_bytes(size),
+            plan.get("n_transport", "-"),
+            plan.get("n_qps", "-"),
+            fmt_time(delta) if delta is not None else "-",
+            fmt_time(res.best_plan_time) if res.best_plan_time else "-",
+            "explored" if res.explored else "replayed",
+        ])
+    print(f"autotune [{args.policy}], {args.n_user} partitions, "
+          f"store {store.root} ({len(store)} entries)")
+    print(format_table(
+        ["message size", "transport", "QPs", "delta", "round time", ""],
+        rows))
+    return 0
+
+
+def cmd_autotune_show(args) -> int:
+    from repro.autotune import TuningStore
+    from repro.bench.reporting import format_table
+
+    store = TuningStore(args.store)
+    entries = store.entries()
+    if not entries:
+        print(f"store {store.root} is empty")
+        return 0
+    rows = []
+    for payload in entries:
+        key, plan = payload["key"], payload["plan"]
+        delta = plan.get("delta")
+        rows.append([
+            key.get("config", "") or "-",
+            key.get("n_user", "-"),
+            fmt_bytes(key["message_size"]) if "message_size" in key else "-",
+            plan.get("n_transport", "-"),
+            plan.get("n_qps", "-"),
+            fmt_time(delta) if delta is not None else "-",
+        ])
+    print(format_table(
+        ["config", "user partitions", "message size",
+         "transport", "QPs", "delta"], rows))
     return 0
 
 
@@ -345,6 +412,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default="64KiB,1MiB")
     common(p)
     p.set_defaults(func=cmd_tuning_table)
+
+    autotune = sub.add_parser(
+        "autotune", help="closed-loop tuning store (repro.autotune)")
+    autotune_sub = autotune.add_subparsers(dest="autotune_command",
+                                           required=True)
+
+    p = autotune_sub.add_parser(
+        "tune", help="learn plans for workloads, persist them to a store")
+    p.add_argument("--store", default="results/autotune-store",
+                   help="tuning store directory (default: %(default)s)")
+    p.add_argument("--n-user", type=int, default=32)
+    p.add_argument("--sizes", default="256KiB,2MiB,8MiB")
+    p.add_argument("--policy", default="bandit",
+                   choices=["bandit", "delta_tracker"])
+    p.add_argument("--config-tag", default="niagara",
+                   help="cluster identity baked into store keys")
+    p.add_argument("--compute-ms", type=float, default=0.0)
+    p.add_argument("--noise", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0,
+                   help="bandit exploration seed")
+    p.add_argument("--iterations", type=int, default=64)
+    p.add_argument("--warmup", type=int, default=2)
+    p.add_argument("--delta-us", type=float, default=35.0)
+    p.set_defaults(func=cmd_autotune_tune)
+
+    p = autotune_sub.add_parser(
+        "show", help="list the plans a tuning store has learned")
+    p.add_argument("--store", default="results/autotune-store",
+                   help="tuning store directory (default: %(default)s)")
+    p.set_defaults(func=cmd_autotune_show)
 
     bench = sub.add_parser(
         "bench", help="registered paper experiments (figures/tables)")

@@ -68,6 +68,10 @@ class AggregationPlan:
     #: considered and rejected in Section IV-D — it needs staging and
     #: out-of-band layout information at the receiver).
     scatter_gather: bool = False
+    #: Closed-loop controller (repro.autotune).  When set, the module
+    #: re-plans (n_transport, n_qps <= provisioned, delta) each round;
+    #: None keeps every paper aggregator on the static single-plan path.
+    controller: Optional[object] = None
 
     def __post_init__(self):
         if not is_power_of_two(self.n_transport):

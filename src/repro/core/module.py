@@ -96,6 +96,22 @@ class NativeVerbsModule(PartitionedModule):
         self._round_pready_times: Optional[list] = None
         #: δ used each round (diagnostics for the auto-tuner).
         self.delta_history: list[float] = []
+        # Closed-loop tuning (repro.autotune).  The round-active values
+        # shadow the plan: without a controller they are set once from
+        # the plan in setup() and never change, so every read below is
+        # bit-identical to reading the plan directly; with a controller
+        # _sync_round() retargets them at the top of each round.
+        self._controller = None
+        self._active_n_transport = 0
+        self._active_n_qps = 1
+        self._active_delta: Optional[float] = None
+        self._planned_round: Optional[int] = None
+        self._round_t0 = 0.0
+        self._round_send_done = 0.0
+        self._round_recv_done = 0.0
+        self._counter_snapshot: dict = {}
+        self._wrs_snapshot = 0
+        self._flush_snapshot = 0
         # Fault recovery: the tracker maps every in-flight WR to its QP
         # and (runs, sg_seq) payload, so a WR that dies — by error CQE
         # or by vanishing with a killed QP — is replayed exactly once.
@@ -128,6 +144,23 @@ class NativeVerbsModule(PartitionedModule):
                 f"{self.plan.n_transport} transport partitions do not divide "
                 f"{send_req.n_partitions} user partitions")
         self.group_size = send_req.n_partitions // self.plan.n_transport
+        self._controller = self.plan.controller
+        self._active_n_transport = self.plan.n_transport
+        self._active_n_qps = self.plan.n_qps
+        self._active_delta = self.plan.timer_delta
+        if self._controller is not None:
+            # QPs are provisioned for the largest arm; every arm must
+            # also produce an aligned grouping of this request.
+            choices = list(self._controller.policy.candidates())
+            if self._controller.pinned is not None:
+                choices.append(self._controller.pinned)
+            for choice in choices:
+                if (send_req.n_partitions % choice.n_transport != 0
+                        or choice.n_qps > self.plan.n_qps):
+                    raise PartitionError(
+                        f"autotune candidate {choice} does not fit "
+                        f"{send_req.n_partitions} user partitions / "
+                        f"{self.plan.n_qps} provisioned QPs")
         send_pd = self.sender.ib.alloc_pd()
         recv_pd = self.receiver.ib.alloc_pd()
         self.send_cq = self.sender.ib.create_cq(capacity=1 << 20)
@@ -173,10 +206,55 @@ class NativeVerbsModule(PartitionedModule):
     # round management
     # ------------------------------------------------------------------
 
+    def _sync_round(self, round_no: int) -> None:
+        """Close the loop at a round boundary (controller runs only).
+
+        Idempotent per round — ``start_send`` and ``start_recv`` both
+        call it and whichever runs first does the work.  Feeds the
+        previous round's observation to the controller, then applies
+        its choice for this round to the round-active values.  Pure
+        attribute bookkeeping: no yields, no virtual time.
+        """
+        if round_no == self._planned_round:
+            return
+        counters = self.cluster.fabric.counters
+        if (self._planned_round is not None
+                and self._round_pready_times is not None):
+            from repro.autotune.observe import IterationObservation
+
+            deltas = counters.since(self._counter_snapshot)
+            self._controller.observe(IterationObservation(
+                round=self._planned_round,
+                completion_time=max(self._round_send_done,
+                                    self._round_recv_done) - self._round_t0,
+                pready_times=tuple(self._round_pready_times),
+                wrs_posted=self.total_wrs_posted - self._wrs_snapshot,
+                timer_flushes=self.timer_flushes - self._flush_snapshot,
+                retransmits=deltas.get("ib.retransmits", 0),
+            ))
+        # Never flip the layout under pending recovery or replay: the
+        # queued units were grouped under the previous round's plan.
+        hold = self._tracker.recovering or bool(self._tracker.replay)
+        choice = self._controller.plan_for_round(round_no, hold=hold)
+        self._active_n_transport = choice.n_transport
+        self._active_n_qps = choice.n_qps
+        self._active_delta = choice.delta
+        self.group_size = self.send_req.n_partitions // choice.n_transport
+        self.current_delta = choice.delta
+        self._planned_round = round_no
+        self._round_t0 = self.env.now
+        self._counter_snapshot = counters.snapshot()
+        self._wrs_snapshot = self.total_wrs_posted
+        self._flush_snapshot = self.timer_flushes
+
     def start_send(self, req):
         n = req.n_partitions
         host = self.sender.config.host
-        if self.plan.timer_delta is not None:
+        if self._controller is not None:
+            self._sync_round(req.round)
+            if self._active_delta is not None:
+                self.delta_history.append(self.current_delta)
+        elif self.plan.timer_delta is not None:
             if self.current_delta is None:
                 self.current_delta = self.plan.timer_delta
             elif (self.plan.adaptive is not None
@@ -192,11 +270,11 @@ class NativeVerbsModule(PartitionedModule):
         self._round_pready_times = [0.0] * n
         self._arrived = np.zeros(n, dtype=bool)
         self._sent = np.zeros(n, dtype=bool)
-        self._flushed = np.zeros(self.plan.n_transport, dtype=bool)
+        self._flushed = np.zeros(self._active_n_transport, dtype=bool)
         atomic_cost = self.sender.software_cost(host.t_atomic)
         self._counters = [
             AtomicCounter(self.env, access_cost=atomic_cost)
-            for _ in range(self.plan.n_transport)
+            for _ in range(self._active_n_transport)
         ]
         self._ready_count = 0
         self._posted = 0
@@ -215,7 +293,7 @@ class NativeVerbsModule(PartitionedModule):
         Shared by ``MPI_Start`` and channel recovery (a reconnected QP
         comes back with whatever survived the flush re-armed here).
         """
-        per_group_max = self.group_size if self.plan.timer_delta is not None else 1
+        per_group_max = self.group_size if self._active_delta is not None else 1
         if self.cluster.fabric.faults is not None:
             # A degraded sender may downgrade any group to
             # per-partition sends; stock for that worst case so
@@ -223,8 +301,8 @@ class NativeVerbsModule(PartitionedModule):
             per_group_max = self.group_size
         n_rails = len(self.recv_rails)
         targets = [[0] * self.plan.n_qps for _ in range(n_rails)]
-        for g in range(self.plan.n_transport):
-            targets[g % n_rails][g % self.plan.n_qps] += per_group_max
+        for g in range(self._active_n_transport):
+            targets[g % n_rails][g % self._active_n_qps] += per_group_max
         for rail, rail_targets in zip(self.recv_rails, targets):
             for qp, target in zip(rail, rail_targets):
                 restock(qp, target, lambda: next(_wrid))
@@ -235,6 +313,10 @@ class NativeVerbsModule(PartitionedModule):
         Tops each QP's RQ up to its worst-case message count so stale
         entries from timer rounds are reused rather than leaked.
         """
+        if self._controller is not None:
+            # Restock must match this round's plan, whichever side's
+            # Start runs first.
+            self._sync_round(req.round)
         self._restock_recv()
         # Grant the sender this round's credit, one fabric latency away.
         flight = self.cluster.fabric.latency(
@@ -254,7 +336,7 @@ class NativeVerbsModule(PartitionedModule):
         self._round_pready_times[partition] = self.env.now
         self._ready_count += 1
         count = yield from self._counters[group].add_and_fetch(1)
-        if self.plan.timer_delta is None:
+        if self._active_delta is None:
             if count == self.group_size:
                 yield from self._post_range(
                     group * self.group_size, self.group_size)
@@ -277,7 +359,7 @@ class NativeVerbsModule(PartitionedModule):
     def _timer_wait(self, group: int):
         cfg = self.cluster.config.part
         delta = (self.current_delta if self.current_delta is not None
-                 else self.plan.timer_delta)
+                 else self._active_delta)
         waited = 0.0
         while waited < delta:
             step = min(cfg.timer_poll, delta - waited)
@@ -391,7 +473,7 @@ class NativeVerbsModule(PartitionedModule):
                 self.sender.software_cost(self.sender.config.host.t_post))
             group = start // self.group_size
             rail = self.send_rails[group % len(self.send_rails)]
-            qp = yield from rail.acquire(group)
+            qp = yield from rail.acquire(group % self._active_n_qps)
             if qp.state is not QPState.RTS:
                 # The channel died under us (wait_rdma_slot fires
                 # immediately on an ERROR QP).  Park the range: channel
@@ -443,7 +525,7 @@ class NativeVerbsModule(PartitionedModule):
             yield self.env.timeout(self.sender.software_cost(
                 host.t_post + 50e-9 * len(runs)))
             rail = self.send_rails[group % len(self.send_rails)]
-            qp = yield from rail.acquire(group)
+            qp = yield from rail.acquire(group % self._active_n_qps)
             if qp.state is not QPState.RTS:
                 if not self._recovery_enabled:
                     from repro.errors import ChannelDownError
@@ -555,7 +637,7 @@ class NativeVerbsModule(PartitionedModule):
         start, _ = unit
         group = start // self.group_size
         rail = self.send_rails[group % len(self.send_rails)]
-        return rail.peek(group).state is QPState.RTS
+        return rail.peek(group % self._active_n_qps).state is QPState.RTS
 
     def _replay_unit(self, unit):
         start, count = unit
@@ -582,6 +664,7 @@ class NativeVerbsModule(PartitionedModule):
                 and not self._tracker.recovering
                 and self._acked == self._posted
                 and bool(self._sent.all())):
+            self._round_send_done = self.env.now
             self.send_req.mark_complete()
 
     def _on_recv_wc(self, wc):
@@ -610,6 +693,7 @@ class NativeVerbsModule(PartitionedModule):
     def _check_recv_complete(self) -> None:
         req = self.recv_req
         if not req.done and req.all_arrived:
+            self._round_recv_done = self.env.now
             req.mark_complete()
 
 

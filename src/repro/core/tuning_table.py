@@ -29,6 +29,10 @@ class TuningTable:
     """
 
     entries: dict[tuple[int, int], tuple[int, int]] = field(default_factory=dict)
+    #: Per-``n_user`` sorted size lists, built lazily by :meth:`lookup`
+    #: and invalidated by :meth:`add` (mutate through ``add`` only).
+    _sorted_sizes: dict[int, list[int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     def add(self, n_user: int, message_size: int,
             n_transport: int, n_qps: int) -> None:
@@ -40,9 +44,17 @@ class TuningTable:
             raise TuningError(
                 f"n_transport {n_transport} exceeds n_user {n_user}")
         self.entries[(n_user, message_size)] = (n_transport, n_qps)
+        self._sorted_sizes.pop(n_user, None)
+
+    def _sizes_for(self, n_user: int) -> list[int]:
+        sizes = self._sorted_sizes.get(n_user)
+        if sizes is None:
+            sizes = sorted(s for (u, s) in self.entries if u == n_user)
+            self._sorted_sizes[n_user] = sizes
+        return sizes
 
     def lookup(self, n_user: int, message_size: int) -> tuple[int, int]:
-        sizes = sorted(s for (u, s) in self.entries if u == n_user)
+        sizes = self._sizes_for(n_user)
         if not sizes:
             raise TuningError(f"no tuning entries for {n_user} user partitions")
         idx = bisect.bisect_right(sizes, message_size) - 1

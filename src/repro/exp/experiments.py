@@ -743,6 +743,127 @@ def _build_ext_halo(profile: Profile) -> ExperimentSpec:
     return ext_halo_spec((4, 4), HALO_SIZES_FAST, iterations=3, warmup=1)
 
 
+# ------------------------------------------------------- ext_autotune
+
+AUTOTUNE_N_USER = 32
+AUTOTUNE_SIZE = 2 * MiB
+AUTOTUNE_COUNTS = (1, 2, 4, 8, 16, 32)
+AUTOTUNE_BANDIT_ITERS = 64
+#: A δ grossly above the fig11 late-laggard gap (4 ms): the fixed timer
+#: never fires (the laggard always completes its group first), so the
+#: design degenerates to plain aggregation and the whole laggard group
+#: rides the post-laggard critical path.  The tracker re-targets δ to
+#: the observed non-laggard spread and restores the early flush.
+AUTOTUNE_BAD_DELTA = us(8000)
+AUTOTUNE_LAGGARD_SIZE = 32 * MiB
+
+
+def _autotune_point(autotune: dict, n_user: int, size: int,
+                    iterations: int, warmup: int, compute: float = 0.0,
+                    noise: float = 0.0) -> Scenario:
+    params = dict(autotune=autotune, n_user=n_user, total_bytes=size,
+                  iterations=iterations, warmup=warmup)
+    if compute:
+        params["compute"] = compute
+    if noise:
+        params["noise_fraction"] = noise
+    return Scenario.make("autotune", **params)
+
+
+def ext_autotune_spec(n_user=AUTOTUNE_N_USER, size=AUTOTUNE_SIZE,
+                      bandit_iters=AUTOTUNE_BANDIT_ITERS,
+                      laggard_size=AUTOTUNE_LAGGARD_SIZE,
+                      laggard_iters=6, table_iters=3,
+                      ptp_iter: Optional[Mapping] = None) -> ExperimentSpec:
+    """Closed-loop tuning vs. the paper's open-loop optima.
+
+    Two comparisons: (a) fig08's scenario — a bandit exploring
+    ``(n_transport, n_qps, δ)`` arms against the brute-force
+    tuning-table optimum at the same workload; (b) fig11's late-laggard
+    arrival profile — δ retargeting against a mistuned fixed-δ timer.
+    Both series are speedups of the adaptive design (1.0 = parity with
+    the offline optimum).
+    """
+    it = dict(ptp_iter or {"iterations": 10, "warmup": 2})
+    table_desc = ["tuning_table", {
+        "n_user_counts": [n_user], "message_sizes": [size],
+        "iterations": table_iters, "warmup": 1}]
+    offline = _overhead(table_desc, n_user, size, it)
+    bandit = _autotune_point(
+        {"policy": "bandit", "counts": list(AUTOTUNE_COUNTS),
+         "deltas": [None, us(35)], "bandit_seed": 7},
+        n_user, size, bandit_iters, 2)
+    fixed = _perceived(
+        ["timer", {"delay": ms(4), "delta": AUTOTUNE_BAD_DELTA}],
+        n_user, laggard_size, laggard_iters, 2)
+    tracker = _autotune_point(
+        {"policy": "delta_tracker", "delta": AUTOTUNE_BAD_DELTA,
+         "delay": ms(4), "max_delta": AUTOTUNE_BAD_DELTA},
+        n_user, laggard_size, laggard_iters, 2,
+        compute=PERCEIVED_COMPUTE, noise=PERCEIVED_NOISE)
+
+    def collect(res):
+        offline_time = res[offline]["mean_time"]
+        b = res[bandit]
+        convergence = offline_time / b["best_plan_time"]
+        tracker_speedup = (res[tracker]["perceived_bandwidth"]
+                           / res[fixed]["perceived_bandwidth"])
+        series = {
+            "bandit vs offline table": {size: convergence},
+            "delta tracker vs fixed delta": {
+                laggard_size: tracker_speedup},
+        }
+        return {
+            "series": series,
+            "bandit": {
+                "best_plan": b["best_plan"],
+                "best_plan_time": b["best_plan_time"],
+                "offline_time": offline_time,
+                "converged_round": b["converged_round"],
+                "round_times": b["round_times"],
+            },
+            "laggard": {
+                "fixed_bw": res[fixed]["perceived_bandwidth"],
+                "tracker_bw": res[tracker]["perceived_bandwidth"],
+                "tracker_plan": res[tracker]["best_plan"],
+            },
+        }
+
+    def report(payload):
+        b, lag = payload["bandit"], payload["laggard"]
+        conv = list(
+            payload["series"]["bandit vs offline table"].values())[0]
+        track = list(
+            payload["series"]["delta tracker vs fixed delta"].values())[0]
+        plan = b["best_plan"]
+        rows = [
+            ["bandit best plan",
+             f"T={plan['n_transport']} QP={plan['n_qps']} "
+             f"delta={plan['delta']}"],
+            ["bandit best time", fmt_time(b["best_plan_time"])],
+            ["offline table time", fmt_time(b["offline_time"])],
+            ["convergence (offline/bandit)", f"{conv:.3f}x"],
+            ["converged at round", str(b["converged_round"])],
+            ["fixed-delta bandwidth", fmt_rate(lag["fixed_bw"])],
+            ["tracker bandwidth", fmt_rate(lag["tracker_bw"])],
+            ["tracker speedup", f"{track:.3f}x"],
+        ]
+        return format_table(["autotune", "value"], rows)
+
+    return ExperimentSpec([offline, bandit, fixed, tracker], collect,
+                          report, SPEEDUP)
+
+
+@register("ext_autotune", "Extension: closed-loop autotuning vs. "
+                          "offline optima")
+def _build_ext_autotune(profile: Profile) -> ExperimentSpec:
+    if profile.name == "paper":
+        return ext_autotune_spec(laggard_iters=10, table_iters=5,
+                                 ptp_iter=profile.ptp_iter)
+    return ext_autotune_spec(laggard_iters=4, table_iters=3,
+                             ptp_iter=profile.ptp_iter)
+
+
 # ----------------------------------------------------- ext_model_vs_sim
 
 MVS_N_USER = 32

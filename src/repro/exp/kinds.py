@@ -144,6 +144,34 @@ def _min_delta(p: dict) -> dict:
     return {"min_delta": estimate_min_delta(result.arrival_rounds())}
 
 
+@kind("autotune")
+def _autotune(p: dict) -> dict:
+    from repro.bench.autotune import run_autotuned_pair
+
+    res = run_autotuned_pair(
+        p["autotune"], n_user=p["n_user"], total_bytes=p["total_bytes"],
+        compute=p.get("compute", 0.0),
+        noise_fraction=p.get("noise_fraction", 0.0),
+        iterations=p["iterations"], warmup=p["warmup"], config=_config(p))
+    # Caching note: no TuningStore here on purpose — a store would make
+    # the point a function of on-disk state, breaking the harness's
+    # pure-function-of-scenario contract.  Cross-run persistence is
+    # exercised by the autotune tests and the CLI instead.
+    return {
+        "mean_time": res.mean_time,
+        "mean_comm_time": res.mean_comm_time,
+        "perceived_bandwidth": res.mean_perceived_bandwidth,
+        "best_plan": res.best_plan,
+        "best_plan_time": res.best_plan_time,
+        "final_time": res.final_time,
+        "converged_round": res.converged_round,
+        "explored": res.explored,
+        "round_times": [r["completion_time"] for r in res.round_plans],
+        "wrs_posted": res.result.wrs_posted,
+        "timer_flushes": res.result.timer_flushes,
+    }
+
+
 @kind("model_curve")
 def _model_curve(p: dict) -> dict:
     from repro.model import model_curve

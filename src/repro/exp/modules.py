@@ -17,6 +17,9 @@ The descriptor vocabulary:
 ``["noagg", p]``         :class:`NoAggregation` (optional ``n_qps``)
 ``["tuning_table", p]``  :class:`TuningTableAggregator` over a table
                          brute-forced from ``p`` (memoized per process)
+``["autotune", p]``      :class:`repro.autotune.AdaptiveAggregator` from
+                         :func:`repro.autotune.build_autotuner` (no
+                         store — points must stay pure)
 ======================  ==================================================
 
 All aggregators take the Niagara LogGP calibration
@@ -100,6 +103,10 @@ def build_module(desc: Optional[Sequence[Any]]):
     if name == "tuning_table":
         return TuningTableAggregator(_memoized_tuning_table(
             canonical(params)))
+    if name == "autotune":
+        from repro.autotune import build_autotuner
+
+        return build_autotuner(params)
     raise ValueError(f"unknown module descriptor {desc!r}")
 
 

@@ -29,10 +29,7 @@ _TOKEN_BYTES = 8
 
 
 def _epoch(proc: MPIProcess, name: str) -> int:
-    counters = getattr(proc, "_coll_epochs", None)
-    if counters is None:
-        counters = {}
-        proc._coll_epochs = counters
+    counters = proc._coll_epochs
     counters[name] = counters.get(name, 0) + 1
     return counters[name]
 

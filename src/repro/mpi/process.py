@@ -54,6 +54,9 @@ class MPIProcess:
         self.router.bind(self.p2p_cq, self._on_p2p_wc)
         #: Software-cost multiplier (>1 when threads oversubscribe cores).
         self.sw_multiplier = 1.0
+        #: Per-collective epoch counters (tag namespacing across
+        #: repeated/concurrent collectives; see repro.mpi.collectives).
+        self._coll_epochs: dict[str, int] = {}
         # transport state
         self._channels_out: dict[int, Channel] = {}
         self._inbound_headers: dict[int, Header] = {}

@@ -120,6 +120,24 @@ class Counters:
         """Snapshot of all counters (a copy)."""
         return dict(self._counts)
 
+    def snapshot(self) -> dict[str, int]:
+        """Alias of :meth:`as_dict` for delta accounting with
+        :meth:`since` (the autotune controller's per-iteration window)."""
+        return dict(self._counts)
+
+    def since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Per-counter increments since ``snapshot``; zero deltas omitted.
+
+        Counters are monotonic, so the delta is a plain subtraction;
+        names created after the snapshot count from zero.
+        """
+        out = {}
+        for name, value in self._counts.items():
+            delta = value - snapshot.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
     def clear(self) -> None:
         self._counts.clear()
 

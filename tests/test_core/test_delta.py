@@ -50,6 +50,33 @@ def test_validation():
         estimate_min_delta([[0.0, 1.0]], laggards_per_round=2)
 
 
+def test_empty_round_rejected():
+    # A round with no arrivals cannot exclude a laggard.
+    with pytest.raises(ConfigError):
+        estimate_min_delta([[]])
+
+
+def test_single_partition_round():
+    # One partition and no laggard exclusion: spread degenerates to 0.
+    rounds = [[0.5]]
+    assert estimate_min_delta(rounds, laggards_per_round=0) == 0.0
+    with pytest.raises(ConfigError):
+        estimate_min_delta(rounds)  # cannot drop the only arrival
+
+
+def test_zero_delta_when_arrivals_coincide():
+    rounds = [[1.0, 1.0, 1.0, 1.0]]
+    assert estimate_min_delta(rounds) == 0.0
+    assert estimate_min_delta(rounds, laggards_per_round=0) == 0.0
+
+
+def test_non_monotone_timestamps_sorted_per_round():
+    # Pready times arrive in thread-finish order; ranking is by value.
+    rounds = [[5e-6, 4000e-6, 2e-6, 0.0]]
+    assert estimate_min_delta(rounds) == pytest.approx(5e-6)
+    assert min_delta_per_round(rounds) == [pytest.approx(5e-6)]
+
+
 def test_per_round_diagnostics():
     rounds = [[0.0, 3e-6, 1e-3], [0.0, 7e-6, 1e-3]]
     assert min_delta_per_round(rounds) == [

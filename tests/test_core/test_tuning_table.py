@@ -42,6 +42,20 @@ def test_lookup_missing_user_count_raises():
         small_table().lookup(64, 4 * KiB)
 
 
+def test_lookup_cache_invalidated_by_add():
+    """add() after a lookup must be visible — the sorted-size cache
+    is invalidated, not stale."""
+    table = TuningTable()
+    table.add(32, 512 * KiB, 2, 2)
+    assert table.lookup(32, 1 * MiB) == (2, 2)  # primes the cache
+    table.add(32, 1 * MiB, 8, 2)
+    assert table.lookup(32, 1 * MiB) == (8, 2)
+    # Other user counts keep their own (still valid) cache lines.
+    table.add(4, 4 * KiB, 1, 1)
+    assert table.lookup(4, 1 * MiB) == (1, 1)
+    assert table.lookup(32, 2 * MiB) == (8, 2)
+
+
 def test_add_validation():
     table = TuningTable()
     with pytest.raises(TuningError):

@@ -63,6 +63,32 @@ def test_uniform_stagger_negative_spread():
         uniform_stagger(4, -0.1)
 
 
+def test_many_before_one_zero_delay_degenerates_to_simultaneous():
+    assert many_before_one(4, 0.0) == simultaneous(4)
+
+
+def test_one_before_many_single_partition():
+    # With one partition the "early" thread is the whole round.
+    assert one_before_many(1, 0.5) == [0.0]
+
+
+def test_one_before_many_zero_delay():
+    assert one_before_many(4, 0.0) == [0.0] * 4
+
+
+def test_uniform_stagger_zero_spread():
+    assert uniform_stagger(4, 0.0) == [0.0] * 4
+
+
+def test_random_stagger_zero_spread_and_validation():
+    rng = np.random.Generator(np.random.PCG64(0))
+    assert random_stagger(3, 0.0, rng) == [0.0] * 3
+    with pytest.raises(ValueError):
+        random_stagger(0, 1.0, rng)
+    with pytest.raises(ValueError):
+        random_stagger(3, -1.0, rng)
+
+
 def test_random_stagger_within_bounds_and_deterministic():
     rng1 = np.random.Generator(np.random.PCG64(42))
     rng2 = np.random.Generator(np.random.PCG64(42))

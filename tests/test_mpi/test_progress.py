@@ -177,3 +177,36 @@ def test_mpi_progress_shim_warns_and_reexports():
         shim = importlib.import_module("repro.mpi.progress")
     assert any(issubclass(w.category, DeprecationWarning) for w in caught)
     assert shim.ProgressEngine is ProgressEngine
+
+
+def test_plain_import_statement_warns_in_fresh_interpreter():
+    """A literal ``import repro.mpi.progress`` warns on first import.
+
+    The in-process test above goes through importlib with the module
+    cache cleared; this one guards the path users actually hit — a
+    plain import statement in a fresh interpreter (where default
+    warning filters and import caching differ).
+    """
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    import repro
+
+    src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    code = (
+        "import warnings\n"
+        "warnings.simplefilter('error', DeprecationWarning)\n"
+        "try:\n"
+        "    import repro.mpi.progress\n"
+        "except DeprecationWarning:\n"
+        "    pass\n"
+        "else:\n"
+        "    raise SystemExit('no DeprecationWarning raised')\n"
+    )
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr

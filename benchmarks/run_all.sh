@@ -20,7 +20,8 @@ for b in \
     bench_ext_model_vs_sim \
     bench_ext_halo \
     bench_ext_faults \
-    bench_ext_autotune; do
+    bench_ext_autotune \
+    bench_ext_stencil; do
     echo "== $b =="
     python "benchmarks/$b.py" > "results/$b.txt" 2>&1
 done

@@ -8,6 +8,8 @@
   Section V-C;
 * :mod:`repro.bench.sweep` — the Sweep3D communication pattern of
   Section V-D;
+* :mod:`repro.bench.coll` — partitioned tree-collective rounds
+  (allreduce over binomial trees of partitioned pairs);
 * :mod:`repro.bench.reporting` — table/series formatting for the
   figure-regeneration scripts in ``benchmarks/``.
 """
@@ -17,6 +19,7 @@ from repro.bench.overhead import OverheadResult, run_overhead, overhead_speedup_
 from repro.bench.perceived import PerceivedResult, run_perceived_bandwidth
 from repro.bench.sweep import SweepResult, run_sweep
 from repro.bench.halo import HaloResult, run_halo
+from repro.bench.coll import PcollResult, run_pallreduce
 from repro.bench.reporting import format_table, format_speedup_series
 
 __all__ = [
@@ -32,6 +35,8 @@ __all__ = [
     "run_sweep",
     "HaloResult",
     "run_halo",
+    "PcollResult",
+    "run_pallreduce",
     "format_table",
     "format_speedup_series",
 ]

@@ -1,0 +1,105 @@
+"""Partitioned tree-collective micro-benchmark.
+
+Times :class:`~repro.coll.tree.Pallreduce` rounds across a world of
+ranks: every rank's worker threads ``Pready`` their contribution
+partitions after a compute phase, and an iteration completes when the
+reduced result has streamed back down to every leaf.  The per-edge
+module choice (``part_persist`` baseline vs. native aggregation)
+applies to every tree edge, so the benchmark isolates what aggregation
+buys on the reduction's critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.config import ClusterConfig, NIAGARA
+from repro.mem.buffer import PartitionedBuffer
+from repro.mpi.cluster import Cluster
+from repro.runtime import ComputePhase, SingleThreadDelay, WorkerTeam
+from repro.sim.sync import SimBarrier
+
+
+@dataclass
+class PcollResult:
+    """Tree-collective benchmark outcome."""
+
+    world: int
+    n_threads: int
+    n_partitions: int
+    partition_size: int
+    compute: float
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def mean_time(self) -> float:
+        return float(np.mean(self.times))
+
+    @property
+    def mean_comm_time(self) -> float:
+        """Iteration time minus the (parallel) compute phase."""
+        return float(np.mean([t - self.compute for t in self.times]))
+
+
+def run_pallreduce(
+    module=None,
+    world: int = 8,
+    n_threads: int = 4,
+    n_partitions: Optional[int] = None,
+    partition_size: int = 64 * 1024,
+    compute: float = 1e-3,
+    noise_fraction: float = 0.01,
+    iterations: int = 5,
+    warmup: int = 1,
+    config: Optional[ClusterConfig] = None,
+    topology=None,
+) -> PcollResult:
+    """Time partitioned allreduce rounds (None = part_persist edges)."""
+    config = config if config is not None else NIAGARA
+    n_partitions = n_threads if n_partitions is None else n_partitions
+    if n_partitions % n_threads:
+        raise ValueError(
+            f"{n_partitions} partitions not divisible by "
+            f"{n_threads} threads")
+    per_thread = n_partitions // n_threads
+    cluster = Cluster(n_nodes=world, config=config, topology=topology)
+    procs = cluster.ranks(world)
+    barrier = SimBarrier(cluster.env, parties=world)
+    total_rounds = warmup + iterations
+    round_start = [0.0] * total_rounds
+    finish = np.zeros((total_rounds, world))
+    phase = ComputePhase(compute=compute,
+                         noise=SingleThreadDelay(noise_fraction))
+
+    def rank_program(proc):
+        buf = PartitionedBuffer(n_partitions, partition_size, backed=False)
+        coll = proc.pallreduce_init(buf, world, module_for=module)
+        team = WorkerTeam(proc.env, n_threads,
+                          cluster.rngs.stream(f"noise.rank{proc.rank}"),
+                          cores=config.host.cores_per_node)
+
+        def body(tid):
+            for p in range(tid * per_thread, (tid + 1) * per_thread):
+                yield from proc.pcoll_pready(coll, p)
+
+        for it in range(total_rounds):
+            yield barrier.wait()
+            if proc.rank == 0:
+                round_start[it] = proc.env.now
+            yield from proc.pcoll_start(coll)
+            yield team.run_round(phase, lambda tid: body(tid))
+            yield from proc.pcoll_wait(coll)
+            finish[it, proc.rank] = proc.env.now
+
+    for proc in procs:
+        cluster.spawn(rank_program(proc))
+    cluster.run()
+    result = PcollResult(
+        world=world, n_threads=n_threads, n_partitions=n_partitions,
+        partition_size=partition_size, compute=compute)
+    for it in range(warmup, total_rounds):
+        result.times.append(float(finish[it].max() - round_start[it]))
+    return result

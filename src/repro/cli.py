@@ -7,6 +7,7 @@ Installed as ``repro-bench`` (or ``python -m repro.cli``)::
     repro-bench overhead --n-user 32 --sizes 64KiB,512KiB,4MiB
     repro-bench perceived --n-user 32 --sizes 8MiB,32MiB
     repro-bench sweep --grid 4x4 --sizes 256KiB,1MiB --noise 0.01
+    repro-bench stencil --grid 4x4 --faces 64KiB,4KiB --aggregator per-edge
     repro-bench netgauge --sizes 4KiB,64KiB,1MiB
     repro-bench tuning-table --n-user 16 --sizes 64KiB,1MiB
     repro-bench autotune tune --sizes 256KiB,2MiB --store results/store
@@ -49,6 +50,11 @@ def parse_sizes(text: str) -> list[int]:
 def parse_grid(text: str) -> tuple[int, int]:
     px, _, py = text.partition("x")
     return int(px), int(py)
+
+
+def parse_dims(text: str) -> tuple[int, ...]:
+    """'2x2x2' -> (2, 2, 2)."""
+    return tuple(int(part) for part in text.split("x") if part)
 
 
 def _aggregator(name: str, delay: float, delta: float):
@@ -190,6 +196,50 @@ def cmd_sweep(args) -> int:
         }))
     else:
         print(format_speedup_series(series))
+    return 0
+
+
+def cmd_stencil(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.coll import per_edge_autotuners, run_stencil
+
+    grid = parse_dims(args.grid)
+    faces = parse_sizes(args.faces)
+    kwargs = dict(
+        grid=grid, n_threads=args.threads, n_partitions=args.partitions,
+        face_bytes=(faces[0] if len(faces) == 1 else tuple(faces)),
+        compute=ms(args.compute_ms), noise_fraction=args.noise,
+        iterations=args.iterations, warmup=args.warmup)
+    base = run_stencil(**kwargs)
+    if args.aggregator == "per-edge":
+        counts = ([c for c in (2, 8, 32) if c <= args.partitions]
+                  or [args.partitions])
+        params = {"policy": "bandit", "counts": counts,
+                  "deltas": [None], "bandit_seed": 3}
+
+        def planner(proc, axes):
+            return per_edge_autotuners(params)
+
+        ours = run_stencil(planner=planner, **kwargs)
+    else:
+        ours = run_stencil(
+            module=_aggregator(args.aggregator, ms(args.delay_ms),
+                               us(args.delta_us)),
+            **kwargs)
+    print(f"stencil halo exchange, {'x'.join(map(str, grid))} ranks x "
+          f"{args.threads} threads, {args.partitions} partitions/face")
+    rows = [
+        ["part_persist", fmt_time(base.mean_time),
+         fmt_time(base.mean_comm_time), ""],
+        [args.aggregator, fmt_time(ours.mean_time),
+         fmt_time(ours.mean_comm_time),
+         f"{base.mean_comm_time / ours.mean_comm_time:.2f}x"],
+    ]
+    print(format_table(["design", "iter time", "comm time", "speedup"],
+                       rows))
+    if args.plans:
+        for nbr, desc in sorted(ours.plans.get(0, {}).items()):
+            print(f"rank 0 -> rank {nbr}: {desc}")
     return 0
 
 
@@ -399,6 +449,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noise", type=float, default=0.01)
     common(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "stencil",
+        help="partitioned neighbor-alltoall halo exchange (repro.coll)")
+    p.add_argument("--grid", default="2x2",
+                   help="rank grid, e.g. 4x4 or 2x2x2")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--partitions", type=int, default=32,
+                   help="partitions per face")
+    p.add_argument("--faces", default="64KiB",
+                   help="face size, or one size per axis (comma list)")
+    p.add_argument("--compute-ms", type=float, default=1.0)
+    p.add_argument("--noise", type=float, default=0.01)
+    p.add_argument("--aggregator", default="ploggp",
+                   choices=["ploggp", "timer", "per-edge"],
+                   help="'per-edge' runs a bandit per edge; give it "
+                        "enough --warmup rounds to explore")
+    p.add_argument("--plans", action="store_true",
+                   help="print rank 0's converged per-edge plans")
+    common(p)
+    p.set_defaults(func=cmd_stencil)
 
     p = sub.add_parser("netgauge",
                        help="measure LogGP parameters on the fabric")

@@ -1,0 +1,54 @@
+"""Persistent partitioned neighbor-alltoall.
+
+The collective behind multi-threaded halo exchange: every rank owns
+one partitioned send buffer and one partitioned receive buffer per
+neighbor, and a round moves every face concurrently.  Compared to the
+hand-rolled per-face ``psend_init`` loops the benchmarks used to
+write, the collective (a) namespaces all member tags under one epoch,
+(b) gives ``pready(partition)`` the "ready on every face" semantics a
+compute thread wants, and (c) carries one aggregation plan per edge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.coll.base import PartitionedCollective
+from repro.coll.plans import edge_modules
+from repro.errors import MPIError
+from repro.mem.buffer import PartitionedBuffer
+
+if TYPE_CHECKING:
+    from repro.mpi.process import MPIProcess
+
+
+class PneighborAlltoall(PartitionedCollective):
+    """``MPIX_Pneighbor_alltoall_init`` over partitioned pairs.
+
+    ``send_bufs`` and ``recv_bufs`` map neighbor rank to the
+    :class:`~repro.mem.buffer.PartitionedBuffer` exchanged with it;
+    the key sets must be equal (a neighborhood edge is bidirectional,
+    as in a stencil halo).  ``module_for`` picks the transport plan
+    per edge — see :func:`repro.coll.edge_modules`.
+    """
+
+    name = "coll.neighbor"
+
+    def __init__(self, process: "MPIProcess",
+                 send_bufs: Mapping[int, PartitionedBuffer],
+                 recv_bufs: Mapping[int, PartitionedBuffer],
+                 module_for=None):
+        super().__init__(process)
+        if set(send_bufs) != set(recv_bufs):
+            raise MPIError(
+                f"neighbor sets differ: send {sorted(send_bufs)} vs "
+                f"recv {sorted(recv_bufs)}")
+        if process.rank in send_bufs:
+            raise MPIError("a rank cannot neighbor itself")
+        resolve = edge_modules(module_for)
+        for nbr in sorted(send_bufs):
+            tag = self._tag("x")
+            self.sends[nbr] = process.psend_init(
+                send_bufs[nbr], dest=nbr, tag=tag, module=resolve(nbr))
+            self.recvs[nbr] = process.precv_init(
+                recv_bufs[nbr], source=nbr, tag=tag, module=resolve(nbr))

@@ -864,6 +864,156 @@ def _build_ext_autotune(profile: Profile) -> ExperimentSpec:
                              ptp_iter=profile.ptp_iter)
 
 
+# ---------------------------------------------------------- ext_stencil
+
+STENCIL_COMPUTE = ms(1)
+STENCIL_NOISE = 0.01
+STENCIL_FACE = 64 * KiB
+STENCIL_PARTITIONS = 32
+#: The scaling axis: (grid, threads) pairs — weak scaling over ranks,
+#: strong scaling over threads at fixed per-face partition count.
+STENCIL_SCALE = (((2, 2), 8), ((4, 4), 8), ((4, 4), 16), ((2, 2, 2), 8))
+STENCIL_SCALE_FAST = (((2, 2), 4),)
+#: Mixed intra/inter-group placement for the asymmetric-neighbor
+#: comparison: on a 4x4 rank grid with 4-node leaves and two leaves per
+#: group, row neighbours share a leaf switch while column neighbours
+#: cross leaves or groups.
+STENCIL_TOPOLOGY = ["dragonfly+", {"nodes_per_leaf": 4,
+                                   "leaves_per_group": 2}]
+#: Anisotropic faces: the 64 KiB face wants more transport partitions
+#: than the 4 KiB face can afford (Table 1 / fig06: T=32 at 4 KiB is
+#: *slower* than part_persist), so no single global plan suits both.
+STENCIL_ANISO_FACES = (64 * KiB, 4 * KiB)
+STENCIL_GLOBAL_PLANS = (2, 8, 32)
+STENCIL_BANDIT = {"policy": "bandit", "counts": [2, 8, 32],
+                  "deltas": [None], "bandit_seed": 3, "epsilon": 0.3,
+                  "decay": 0.85}
+
+
+def _stencil_point(grid, n_threads: int, face_bytes, it: Mapping,
+                   module=None, per_edge: Optional[dict] = None,
+                   topology: Optional[Sequence] = None,
+                   n_partitions: int = STENCIL_PARTITIONS) -> Scenario:
+    params = dict(grid=list(grid), n_threads=n_threads,
+                  n_partitions=n_partitions,
+                  face_bytes=(face_bytes if isinstance(face_bytes, int)
+                              else list(face_bytes)),
+                  compute=STENCIL_COMPUTE, noise_fraction=STENCIL_NOISE,
+                  iterations=it["iterations"], warmup=it["warmup"])
+    if module is not None:
+        params["module"] = module
+    if per_edge is not None:
+        params["per_edge"] = dict(per_edge)
+    if topology is not None:
+        params["topology"] = list(topology)
+    return Scenario.make("stencil", **params)
+
+
+def ext_stencil_spec(scale=STENCIL_SCALE, face=STENCIL_FACE,
+                     scale_iter: Optional[Mapping] = None,
+                     asym_iter: Optional[Mapping] = None,
+                     global_plans=STENCIL_GLOBAL_PLANS) -> ExperimentSpec:
+    """Partitioned neighbor-alltoall stencil: aggregation per edge.
+
+    Two questions: (a) scaling — does native per-edge aggregation beat
+    the ``part_persist`` baseline across rank/thread scales on the
+    paper-profile stencil; (b) asymmetric neighbors — on a mixed
+    intra/inter-group Dragonfly+ layout with anisotropic faces, does an
+    autotuned *per-neighbor* plan match or beat every single global
+    plan (each edge's bandit converges to its own transport count
+    during warmup).
+    """
+    scale = list(scale)
+    scale_it = dict(scale_iter or {"iterations": 6, "warmup": 2})
+    # Warmup covers the per-edge bandits' exploration phase, so the
+    # measured iterations time the converged plans.
+    asym_it = dict(asym_iter or {"iterations": 6, "warmup": 20})
+
+    base = {(tuple(g), t): _stencil_point(g, t, face, scale_it)
+            for g, t in scale}
+    native = {(tuple(g), t): _stencil_point(g, t, face, scale_it,
+                                            module=PLOGGP)
+              for g, t in scale}
+    asym = dict(grid=(4, 4), n_threads=8, face_bytes=STENCIL_ANISO_FACES,
+                topology=STENCIL_TOPOLOGY)
+    asym_base = _stencil_point(it=asym_it, **asym)
+    asym_global = {
+        t: _stencil_point(
+            it=asym_it, module=["fixed", {"n_transport": t, "n_qps": 2}],
+            **asym)
+        for t in global_plans}
+    asym_edge = _stencil_point(it=asym_it, per_edge=STENCIL_BANDIT, **asym)
+
+    def label(g, t):
+        return f"{'x'.join(map(str, g))} grid, {t}t"
+
+    def collect(res):
+        scaling = {
+            label(g, t): res[base[(tuple(g), t)]]["mean_comm_time"]
+            / res[native[(tuple(g), t)]]["mean_comm_time"]
+            for g, t in scale}
+        edge_time = res[asym_edge]["mean_comm_time"]
+        global_times = {t: res[pt]["mean_comm_time"]
+                        for t, pt in asym_global.items()}
+        persist_time = res[asym_base]["mean_comm_time"]
+        best_t = min(global_times, key=global_times.get)
+        series = {
+            "native vs persist": scaling,
+            "asym: global plan vs persist": {
+                f"T={t}": persist_time / v
+                for t, v in global_times.items()},
+            "asym: per-edge autotuned": {
+                "vs persist": persist_time / edge_time,
+                "vs best global": global_times[best_t] / edge_time,
+            },
+        }
+        return {
+            "series": series,
+            "asym": {
+                "persist_time": persist_time,
+                "global_times": {str(t): v
+                                 for t, v in global_times.items()},
+                "best_global": best_t,
+                "per_edge_time": edge_time,
+            },
+        }
+
+    def report(payload):
+        rows = [[name, f"{v:.3f}x"]
+                for name, v in payload["series"]["native vs persist"]
+                .items()]
+        scaling = format_table(["stencil scale", "native speedup"], rows)
+        a = payload["asym"]
+        rows = ([["part_persist", fmt_time(a["persist_time"]), ""]]
+                + [[f"global T={t}", fmt_time(v),
+                    f"{a['persist_time'] / v:.3f}x"]
+                   for t, v in a["global_times"].items()]
+                + [["per-edge autotuned", fmt_time(a["per_edge_time"]),
+                    f"{a['persist_time'] / a['per_edge_time']:.3f}x"]])
+        asym_table = format_table(
+            ["asymmetric-neighbor design", "comm time", "vs persist"],
+            rows)
+        return (f"-- scaling (native aggregation vs part_persist) --\n"
+                f"{scaling}\n\n-- anisotropic faces on Dragonfly+ "
+                f"(per-edge plans) --\n{asym_table}")
+
+    points = (list(base.values()) + list(native.values()) + [asym_base]
+              + list(asym_global.values()) + [asym_edge])
+    return ExperimentSpec(points, collect, report, SPEEDUP)
+
+
+@register("ext_stencil", "Extension: partitioned neighbor-alltoall "
+                         "stencil with per-edge plans")
+def _build_ext_stencil(profile: Profile) -> ExperimentSpec:
+    if profile.name == "paper":
+        return ext_stencil_spec(
+            scale_iter={"iterations": 10, "warmup": 3})
+    return ext_stencil_spec(
+        scale=STENCIL_SCALE_FAST,
+        scale_iter={"iterations": 4, "warmup": 1},
+        asym_iter={"iterations": 6, "warmup": 20})
+
+
 # ----------------------------------------------------- ext_model_vs_sim
 
 MVS_N_USER = 32

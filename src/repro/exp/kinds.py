@@ -107,6 +107,51 @@ def _halo(p: dict) -> dict:
     return {"mean_time": res.mean_time, "mean_comm_time": res.mean_comm_time}
 
 
+@kind("stencil")
+def _stencil(p: dict) -> dict:
+    from repro.coll import per_edge_autotuners, run_stencil
+
+    planner = None
+    if p.get("per_edge") is not None:
+        autotune_params = dict(p["per_edge"])
+
+        def planner(proc, axes):
+            return per_edge_autotuners(autotune_params)
+
+    face_bytes = p["face_bytes"]
+    res = run_stencil(
+        module=build_module(p.get("module")), planner=planner,
+        grid=tuple(p["grid"]), n_threads=p["n_threads"],
+        n_partitions=p.get("n_partitions"),
+        face_bytes=(face_bytes if isinstance(face_bytes, int)
+                    else tuple(face_bytes)),
+        compute=p["compute"], noise_fraction=p["noise_fraction"],
+        iterations=p["iterations"], warmup=p["warmup"],
+        topology=build_topology(p.get("topology")), config=_config(p))
+    spreads = [stats["spread"]
+               for edges in res.edge_stats.values()
+               for stats in edges.values() if stats["spread"] is not None]
+    return {
+        "mean_time": res.mean_time,
+        "mean_comm_time": res.mean_comm_time,
+        "max_edge_spread": max(spreads) if spreads else None,
+    }
+
+
+@kind("pallreduce")
+def _pallreduce(p: dict) -> dict:
+    from repro.bench.coll import run_pallreduce
+
+    res = run_pallreduce(
+        build_module(p.get("module")), world=p["world"],
+        n_threads=p["n_threads"], n_partitions=p.get("n_partitions"),
+        partition_size=p["partition_size"], compute=p["compute"],
+        noise_fraction=p["noise_fraction"], iterations=p["iterations"],
+        warmup=p["warmup"], topology=build_topology(p.get("topology")),
+        config=_config(p))
+    return {"mean_time": res.mean_time, "mean_comm_time": res.mean_comm_time}
+
+
 @kind("arrival_profile")
 def _arrival_profile(p: dict) -> dict:
     from repro.bench.pair import run_partitioned_pair

@@ -28,12 +28,6 @@ from repro.mpi.process import MPIProcess
 _TOKEN_BYTES = 8
 
 
-def _epoch(proc: MPIProcess, name: str) -> int:
-    counters = proc._coll_epochs
-    counters[name] = counters.get(name, 0) + 1
-    return counters[name]
-
-
 def barrier(proc: MPIProcess, world: int):
     """Dissemination barrier across ranks [0, world); yields.
 
@@ -45,7 +39,7 @@ def barrier(proc: MPIProcess, world: int):
     if world == 1:
         return
         yield  # pragma: no cover
-    epoch = _epoch(proc, "barrier")
+    epoch = proc.next_coll_epoch("barrier")
     token = Buffer(_TOKEN_BYTES, backed=False)
     sink = Buffer(_TOKEN_BYTES, backed=False)
     rounds = math.ceil(math.log2(world))
@@ -87,7 +81,7 @@ def bcast(proc: MPIProcess, world: int, data: np.ndarray, root: int = 0):
     if world == 1:
         return data
         yield  # pragma: no cover
-    epoch = _epoch(proc, "bcast")
+    epoch = proc.next_coll_epoch("bcast")
     nbytes = data.nbytes
     buf = Buffer(max(nbytes, 1))
     parent = _binomial_parent(proc.rank, root, world)
@@ -118,7 +112,7 @@ def reduce(proc: MPIProcess, world: int, data: np.ndarray,
     if world == 1:
         return acc
         yield  # pragma: no cover
-    epoch = _epoch(proc, "reduce")
+    epoch = proc.next_coll_epoch("reduce")
     nbytes = data.nbytes
     staging = Buffer(max(nbytes, 1))
     # Children send up in reverse binomial order.

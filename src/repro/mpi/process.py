@@ -75,6 +75,20 @@ class MPIProcess:
         """CPU cost adjusted for core oversubscription (Fig. 8 @128)."""
         return t * self.sw_multiplier
 
+    def next_coll_epoch(self, name: str) -> int:
+        """Next tag-namespacing epoch for the collective ``name``.
+
+        Every collective implementation (the token/binomial helpers in
+        :mod:`repro.mpi.collectives` and the partitioned collectives in
+        :mod:`repro.coll`) draws its per-instance epoch here, so
+        repeated and concurrent collectives of the same name never
+        cross-match as long as all ranks issue them in the same order —
+        the standard MPI collective-ordering requirement.
+        """
+        epoch = self._coll_epochs.get(name, 0) + 1
+        self._coll_epochs[name] = epoch
+        return epoch
+
     def channel_to(self, dest: int) -> Channel:
         """The outbound channel to ``dest`` (created and connected lazily)."""
         chan = self._channels_out.get(dest)
@@ -414,6 +428,62 @@ class MPIProcess:
         """``MPI_Wait`` on a partitioned request; yields."""
         yield from self.engine.wait_until(lambda: req.done)
         return req
+
+    # ------------------------------------------------------------------
+    # MPI Partitioned collectives (repro.coll facade)
+    # ------------------------------------------------------------------
+    #
+    # The collective objects live in the ``repro.coll`` layer above this
+    # one; these methods are the rank-local MPIX-style entry points
+    # (``MPIX_Pneighbor_alltoall_init`` and friends), imported lazily so
+    # the p2p/partitioned core stays importable without the coll layer.
+
+    def pneighbor_alltoall_init(self, send_bufs, recv_bufs, module_for):
+        """Persistent partitioned neighbor-alltoall init (non-blocking).
+
+        ``send_bufs``/``recv_bufs`` map neighbor rank ->
+        :class:`~repro.mem.buffer.PartitionedBuffer`; ``module_for``
+        resolves each neighbor to its transport module (one aggregation
+        plan per edge — see :func:`repro.coll.edge_modules`).
+        """
+        from repro.coll.neighbor import PneighborAlltoall
+
+        return PneighborAlltoall(self, send_bufs, recv_bufs, module_for)
+
+    def pbcast_init(self, buf, world: int, root: int = 0, module_for=None):
+        """Persistent partitioned broadcast init over a binomial tree."""
+        from repro.coll.tree import Pbcast
+
+        return Pbcast(self, buf, world, root=root, module_for=module_for)
+
+    def pallreduce_init(self, buf, world: int, op=None, module_for=None):
+        """Persistent partitioned allreduce init (reduce + bcast trees)."""
+        from repro.coll.tree import Pallreduce
+
+        return Pallreduce(self, buf, world, op=op, module_for=module_for)
+
+    def pcoll_start(self, coll):
+        """``MPI_Start`` on a partitioned collective; yields."""
+        yield from coll.start()
+
+    def pcoll_pready(self, coll, partition: int, neighbor=None):
+        """``MPI_Pready`` a partition of a collective; yields.
+
+        ``neighbor=None`` readies the partition on every outgoing edge
+        (the contribution is complete); a rank readies toward a single
+        neighbor by naming it.
+        """
+        yield from coll.pready(partition, neighbor=neighbor)
+
+    def pcoll_parrived(self, coll, neighbor, partition: int):
+        """``MPI_Parrived`` on one inbound edge of a collective; yields."""
+        result = yield from coll.parrived(neighbor, partition)
+        return result
+
+    def pcoll_wait(self, coll):
+        """``MPI_Wait`` on a partitioned collective; yields."""
+        yield from coll.wait()
+        return coll
 
     def __repr__(self) -> str:
         return f"<MPIProcess rank={self.rank} node={self.node_id}>"

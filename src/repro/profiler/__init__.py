@@ -8,7 +8,7 @@ arrival-pattern visualizations (Figs. 10-11) and the minimum-δ
 estimates (Fig. 12).
 """
 
-from repro.profiler.pmpi import PMPIProfiler, ProfiledRound
+from repro.profiler.pmpi import CollectiveRound, PMPIProfiler, ProfiledRound
 from repro.profiler.report import (
     ArrivalProfile,
     arrival_profile,
@@ -16,6 +16,7 @@ from repro.profiler.report import (
 )
 
 __all__ = [
+    "CollectiveRound",
     "PMPIProfiler",
     "ProfiledRound",
     "ArrivalProfile",

@@ -8,6 +8,7 @@ occupancy, lock contention).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -39,11 +40,24 @@ class Trace:
 
     Tracing can be disabled globally (``enabled=False``) to keep large
     benchmark runs cheap; ``record`` then becomes a no-op.
+
+    ``max_records`` caps memory on long application runs: when set, the
+    log becomes a ring buffer holding the *most recent* ``max_records``
+    entries, and :attr:`dropped` counts how many older records were
+    evicted.  The default (``None``) preserves the historical unbounded
+    behaviour.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True,
+                 max_records: Optional[int] = None):
+        if max_records is not None and max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1 or None, got {max_records}")
         self.enabled = enabled
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        #: Records evicted from the ring buffer since the last clear.
+        self.dropped = 0
+        self.records: deque[TraceRecord] = deque(maxlen=max_records)
 
     def record(
         self,
@@ -52,9 +66,12 @@ class Trace:
         subject: Any = None,
         **data: Any,
     ) -> None:
-        """Append a record (no-op when disabled)."""
+        """Append a record (no-op when disabled; evicts when capped)."""
         if not self.enabled:
             return
+        if (self.max_records is not None
+                and len(self.records) == self.max_records):
+            self.dropped += 1
         self.records.append(TraceRecord(time, category, subject, data))
 
     def __len__(self) -> int:
@@ -89,6 +106,7 @@ class Trace:
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped = 0
 
     def categories(self) -> set[str]:
         """Distinct categories present in the trace."""

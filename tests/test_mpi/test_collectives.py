@@ -58,7 +58,7 @@ def test_binomial_root_has_no_parent():
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("world", [2, 3, 4, 7, 8])
+@pytest.mark.parametrize("world", [2, 3, 4, 5, 7, 8])
 def test_barrier_synchronizes(world):
     def program(proc):
         # Stagger the arrivals: rank r arrives at r * 10us.
@@ -99,7 +99,7 @@ def test_barrier_repeated():
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("world", [2, 3, 4, 6, 8])
+@pytest.mark.parametrize("world", [2, 3, 4, 5, 6, 7, 8])
 def test_bcast_delivers_roots_data(world):
     payload = np.arange(256, dtype=np.int64)
 
@@ -113,7 +113,7 @@ def test_bcast_delivers_roots_data(world):
         assert np.array_equal(value, payload), f"rank {rank}"
 
 
-@pytest.mark.parametrize("world", [2, 3, 5, 8])
+@pytest.mark.parametrize("world", [2, 3, 5, 7, 8])
 def test_reduce_sums_at_root(world):
     def program(proc):
         data = np.full(64, proc.rank + 1, dtype=np.int64)
@@ -137,7 +137,7 @@ def test_reduce_with_max_op():
     assert results[0][0][0] == 30
 
 
-@pytest.mark.parametrize("world", [2, 4, 5])
+@pytest.mark.parametrize("world", [2, 3, 4, 5, 7])
 def test_allreduce_everyone_gets_total(world):
     def program(proc):
         data = np.full(32, proc.rank + 1, dtype=np.float64)

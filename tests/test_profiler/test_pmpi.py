@@ -112,3 +112,66 @@ def test_profiling_does_not_change_timing():
         else:
             t_plain = cluster.env.now
     assert t_profiled == pytest.approx(t_plain)
+
+
+# ---------------------------------------------------------------------------
+# partitioned collectives
+# ---------------------------------------------------------------------------
+
+
+def run_coll_profiled(rounds=2, n_parts=4, world=3):
+    """Profile rank 0 of a neighbor-alltoall; returns the profiler."""
+    cluster = Cluster(n_nodes=world)
+    procs = cluster.ranks(world)
+    profiler = PMPIProfiler()
+    profiler.attach(procs[0])
+
+    def program(proc):
+        others = [r for r in range(world) if r != proc.rank]
+        send_bufs = {n: PartitionedBuffer(n_parts, 1 * KiB, backed=False)
+                     for n in others}
+        recv_bufs = {n: PartitionedBuffer(n_parts, 1 * KiB, backed=False)
+                     for n in others}
+        coll = proc.pneighbor_alltoall_init(send_bufs, recv_bufs, None)
+        for _ in range(rounds):
+            yield from proc.pcoll_start(coll)
+            for p in range(n_parts):
+                yield proc.env.timeout(1e-6)
+                yield from proc.pcoll_pready(coll, p)
+            yield from proc.pcoll_wait(coll)
+
+    for proc in procs:
+        cluster.spawn(program(proc))
+    cluster.run()
+    return profiler
+
+
+def test_collective_rounds_recorded():
+    profiler = run_coll_profiled(rounds=2)
+    rounds = profiler.completed_coll_rounds()
+    assert len(rounds) == 2
+    assert [r.round_index for r in rounds] == [0, 1]
+    assert all(r.coll_name == "coll.neighbor" for r in rounds)
+    for record in rounds:
+        assert sorted(record.pready) == [0, 1, 2, 3]
+        assert record.t_complete >= max(record.pready.values())
+
+
+def test_collective_neighbor_timelines():
+    profiler = run_coll_profiled(rounds=1, world=3)
+    record = profiler.completed_coll_rounds()[0]
+    # Rank 0's outgoing edges: one per neighbor, each with a full
+    # per-partition MPI_Pready timeline.
+    assert sorted(record.neighbor_pready) == [1, 2]
+    for times in record.neighbor_pready.values():
+        assert len(times) == 4
+        assert all(t is not None for t in times)
+    spreads = record.neighbor_spread()
+    assert all(s is not None and s >= 0 for s in spreads.values())
+
+
+def test_collective_member_requests_also_profiled():
+    """The collective's member pairs surface as point-to-point rounds."""
+    profiler = run_coll_profiled(rounds=1, world=3)
+    # 2 sends + 2 recvs on rank 0, one Start each.
+    assert len(profiler.rounds) == 4

@@ -35,6 +35,9 @@ class RoundRecord:
     #: Whether the choice was held over (recovery) or store-pinned.
     held: bool = False
     completion_time: Optional[float] = None
+    #: Whether the round's observation was quarantined (overlapped a
+    #: fault-recovery window) and kept out of the policy statistics.
+    quarantined: bool = False
 
 
 class AutotuneController:
@@ -86,11 +89,20 @@ class AutotuneController:
     # -- observation side ----------------------------------------------
 
     def observe(self, obs: IterationObservation) -> None:
-        """Credit a completed round's observation to its choice."""
+        """Credit a completed round's observation to its choice.
+
+        Tainted observations (round overlapped a fault-recovery
+        window) are quarantined: the completion time is recorded on
+        the round for diagnostics, but neither the arrival tracker nor
+        the policy sees it — a fault must not poison an arm's score.
+        """
         record = self._by_round.get(obs.round)
         if record is None:
             return
         record.completion_time = obs.completion_time
+        if obs.tainted:
+            record.quarantined = True
+            return
         self.tracker.observe(obs.pready_times)
         self.policy.observe(record.choice, obs, self.tracker)
         self._maybe_commit()
@@ -140,7 +152,8 @@ class AutotuneController:
     def mean_time_of(self, choice: PlanChoice) -> Optional[float]:
         """Observed mean completion time of ``choice`` across rounds."""
         times = [r.completion_time for r in self.history
-                 if r.choice == choice and r.completion_time is not None]
+                 if r.choice == choice and r.completion_time is not None
+                 and not r.quarantined]
         if not times:
             return None
         return sum(times) / len(times)
@@ -149,6 +162,7 @@ class AutotuneController:
         """JSON-friendly per-round history (for experiment results)."""
         return [
             {"round": r.round, "held": r.held,
-             "completion_time": r.completion_time, **r.choice.as_dict()}
+             "completion_time": r.completion_time,
+             "quarantined": r.quarantined, **r.choice.as_dict()}
             for r in self.history
         ]

@@ -37,6 +37,11 @@ class IterationObservation:
         δ-timer flushes this round.
     retransmits:
         Fabric retransmit counter delta this round (fault pressure).
+    tainted:
+        True when the round overlapped a fault-recovery window (retry
+        exhaustion, reconnect, or replay in flight): the timing
+        measures the fault, not the plan, and the controller
+        quarantines it from the policy statistics.
     """
 
     round: int
@@ -45,6 +50,7 @@ class IterationObservation:
     wrs_posted: int = 0
     timer_flushes: int = 0
     retransmits: int = 0
+    tainted: bool = False
 
     @property
     def spread(self) -> float:

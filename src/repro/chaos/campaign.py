@@ -1,0 +1,151 @@
+"""Seeded chaos campaigns: N randomized runs, invariants after each.
+
+A campaign cycles its workloads and fault kinds across ``runs``
+replayable runs.  Each run derives its own RNG substream (schedule
+randomness) and its own cluster root seed from the campaign seed, so
+any single run can be reproduced from the campaign seed plus its
+index — which is exactly what a :func:`failure_bundle` captures when
+an invariant breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.chaos.generators import KINDS, generate_schedule, schedule_to_dict
+from repro.chaos.invariants import RunReport, check_invariants
+from repro.chaos.workloads import get_workload
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one campaign."""
+
+    workloads: tuple = ("ext_stencil", "pallreduce")
+    runs: int = 20
+    seed: int = 0
+    kinds: tuple = KINDS
+    #: Virtual-time horizon fault windows land inside (seconds).
+    horizon: float = 2.5e-3
+    #: Per-run bound on measured virtual duration (None = unbounded).
+    max_duration: Optional[float] = 1.0
+    #: Module choice per edge ("native" or "persist").
+    module: str = "native"
+    #: Wrap every edge in the graceful-degradation ladder.
+    ladder: bool = False
+
+    def __post_init__(self):
+        if self.runs < 1:
+            raise ValueError(f"runs must be >= 1, got {self.runs}")
+        if not self.workloads:
+            raise ValueError("campaign needs at least one workload")
+        if not self.kinds:
+            raise ValueError("campaign needs at least one fault kind")
+
+
+@dataclass
+class RunOutcome:
+    """One campaign run: its inputs, its report, its verdict."""
+
+    index: int
+    workload: str
+    kind: str
+    seed: int
+    schedule: object
+    report: RunReport
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class CampaignReport:
+    """Everything a finished campaign produced."""
+
+    spec: CampaignSpec
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def n_violations(self) -> int:
+        return sum(len(o.violations) for o in self.outcomes)
+
+    @property
+    def kinds_run(self) -> set:
+        return {o.kind for o in self.outcomes}
+
+    def failures(self) -> list:
+        return [o for o in self.outcomes if not o.ok]
+
+    def counter_totals(self, prefixes=("chaos.", "ib.", "fault.",
+                                       "mpi.")) -> dict:
+        """Summed fabric counters across every run, filtered by prefix."""
+        totals: dict[str, int] = {}
+        for outcome in self.outcomes:
+            for name, value in outcome.report.counters.items():
+                if any(name.startswith(p) for p in prefixes):
+                    totals[name] = totals.get(name, 0) + value
+        return dict(sorted(totals.items()))
+
+
+def failure_bundle(outcome: RunOutcome) -> dict:
+    """A JSON-safe repro bundle: seed + schedule + counters + verdict."""
+    return {
+        "index": outcome.index,
+        "workload": outcome.workload,
+        "kind": outcome.kind,
+        "seed": outcome.seed,
+        "schedule": schedule_to_dict(outcome.schedule),
+        "violations": list(outcome.violations),
+        "completed": outcome.report.completed,
+        "duration": outcome.report.duration,
+        "integrity_failures": outcome.report.integrity_failures,
+        "counters": dict(outcome.report.counters),
+        "leaks": list(outcome.report.leaks),
+        "meta": dict(outcome.report.meta),
+    }
+
+
+def run_campaign(spec: CampaignSpec,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> CampaignReport:
+    """Execute the campaign; never raises on a failing run."""
+    rngs = RngStreams(spec.seed)
+    report = CampaignReport(spec=spec)
+    for i in range(spec.runs):
+        name = spec.workloads[i % len(spec.workloads)]
+        kind = spec.kinds[i % len(spec.kinds)]
+        info = get_workload(name)
+        rng = rngs.stream(f"chaos.{name}.run{i}")
+        schedule = generate_schedule(kind, rng, n_nodes=info.n_nodes,
+                                     horizon=spec.horizon)
+        run_seed = int(rng.integers(1, 1 << 31))
+        try:
+            run_report = info.fn(schedule, run_seed, module=spec.module,
+                                 ladder=spec.ladder)
+        except Exception as exc:
+            # A raised error is itself an invariant violation (runs on
+            # a reconnecting fabric must degrade, not abort); capture
+            # it structurally so the bundle explains the abort.
+            run_report = RunReport(
+                workload=name, completed=False,
+                meta={"error": f"{type(exc).__name__}: {exc}",
+                      "context": dict(getattr(exc, "context", {}) or {})})
+        violations = check_invariants(run_report,
+                                      max_duration=spec.max_duration)
+        outcome = RunOutcome(index=i, workload=name, kind=kind,
+                             seed=run_seed, schedule=schedule,
+                             report=run_report, violations=violations)
+        report.outcomes.append(outcome)
+        if progress:
+            verdict = "ok" if outcome.ok else "VIOLATION"
+            progress(f"run {i + 1}/{spec.runs}: {name} [{kind}] "
+                     f"seed={run_seed} {verdict}")
+    return report

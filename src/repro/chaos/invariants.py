@@ -1,0 +1,75 @@
+"""Post-run invariant checks: what every chaos run must satisfy.
+
+A workload returns a :class:`RunReport`; :func:`check_invariants`
+turns it into a list of human-readable violations (empty = the run
+held up).  The invariants are the paper-level correctness properties
+the recovery machinery promises, not performance expectations:
+
+* **completion** — the workload finished every iteration (a DES run
+  that drains its event queue with programs still blocked shows up as
+  ``completed=False``);
+* **byte integrity** — every backed receive buffer held exactly the
+  expected pattern after every iteration;
+* **exactly-once accounting** — duplicates dropped by the replay
+  dedup (plus rescue-path duplicates) never exceed the number of
+  units that were ever re-sent; more duplicates than replays would
+  mean the primary path double-delivered;
+* **no leaks** — no replay-tracker entries, rescue partitions, or
+  deferred credits left behind after the last round;
+* **bounded time** — virtual completion time under an explicit bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunReport:
+    """Everything one chaos run produced, ready for invariant checks."""
+
+    workload: str = ""
+    completed: bool = False
+    #: Total measured virtual time (warmup excluded), seconds.
+    duration: float = 0.0
+    #: Iterations whose received bytes did not match the expectation.
+    integrity_failures: int = 0
+    #: Fabric counters at the end of the run.
+    counters: dict = field(default_factory=dict)
+    #: Human-readable descriptions of leaked resources (empty = clean).
+    leaks: list = field(default_factory=list)
+    #: Free-form extras (error strings, iteration counts, world size).
+    meta: dict = field(default_factory=dict)
+
+
+def check_invariants(report: RunReport,
+                     max_duration: float = None) -> list[str]:
+    """Violation strings for ``report`` (empty list = all invariants hold)."""
+    violations = []
+    if not report.completed:
+        why = report.meta.get("error", "event queue drained with ranks "
+                              "still blocked")
+        violations.append(f"run did not complete: {why}")
+    if report.integrity_failures:
+        violations.append(
+            f"byte integrity: {report.integrity_failures} iteration(s) "
+            "received wrong bytes")
+    c = report.counters
+    duplicates = (c.get("mpi.duplicates_dropped", 0)
+                  + c.get("chaos.rescue_duplicates", 0))
+    resends = (c.get("mpi.replayed_wrs", 0)
+               + c.get("mpi.read_replays", 0)
+               + c.get("mpi.p2p_failures", 0)
+               + c.get("chaos.rescued_partitions", 0))
+    if duplicates > resends:
+        violations.append(
+            f"exactly-once accounting: {duplicates} duplicates dropped "
+            f"but only {resends} units were ever re-sent")
+    for leak in report.leaks:
+        violations.append(f"leak: {leak}")
+    if (max_duration is not None and report.completed
+            and report.duration > max_duration):
+        violations.append(
+            f"bounded time: run took {report.duration:.6f}s virtual "
+            f"(> {max_duration:.6f}s)")
+    return violations

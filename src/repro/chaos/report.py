@@ -1,0 +1,43 @@
+"""Plain-text campaign reports (same table idiom as ``repro.bench``)."""
+
+from __future__ import annotations
+
+from repro.chaos.campaign import CampaignReport
+
+
+def format_campaign(report: CampaignReport) -> str:
+    """Summarize a campaign: per-run verdicts plus counter totals."""
+    from repro.bench.reporting import format_table
+
+    spec = report.spec
+    lines = [
+        f"chaos campaign: {spec.runs} runs, seed {spec.seed}, "
+        f"workloads {', '.join(spec.workloads)}"
+        + (", ladder on" if spec.ladder else ""),
+        f"kinds covered: {', '.join(sorted(report.kinds_run))}",
+    ]
+    rows = []
+    for o in report.outcomes:
+        c = o.report.counters
+        rows.append([
+            o.index, o.workload, o.kind, o.seed,
+            f"{o.report.duration * 1e3:.2f}ms" if o.report.completed
+            else "-",
+            c.get("ib.retry_exhausted", 0),
+            c.get("ib.reconnects", 0),
+            c.get("chaos.ladder_demotions", 0),
+            "ok" if o.ok else "; ".join(o.violations),
+        ])
+    lines.append(format_table(
+        ["run", "workload", "kind", "seed", "time",
+         "retry_exh", "reconn", "demote", "verdict"], rows))
+    totals = report.counter_totals(prefixes=("chaos.",))
+    if totals:
+        lines.append("chaos counters: " + ", ".join(
+            f"{name.removeprefix('chaos.')}={value}"
+            for name, value in totals.items()))
+    verdict = ("all invariants held" if report.ok else
+               f"{report.n_violations} violation(s) in "
+               f"{len(report.failures())} run(s)")
+    lines.append(verdict)
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ Installed as ``repro-bench`` (or ``python -m repro.cli``)::
     repro-bench tuning-table --n-user 16 --sizes 64KiB,1MiB
     repro-bench autotune tune --sizes 256KiB,2MiB --store results/store
     repro-bench autotune show --store results/store
+    repro-bench chaos --runs 50 --seed 7 --ladder --bundle-dir results/chaos
 
 The registered paper experiments run through the ``bench`` group
 (see ``docs/BENCHMARKS.md``)::
@@ -277,6 +278,51 @@ def cmd_tuning_table(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+    import os
+
+    from repro.chaos import (
+        KINDS,
+        CampaignSpec,
+        failure_bundle,
+        format_campaign,
+        run_campaign,
+        workload_names,
+    )
+
+    workloads = tuple(w.strip() for w in args.workloads.split(",")
+                      if w.strip())
+    unknown = sorted(set(workloads) - set(workload_names()))
+    if unknown:
+        raise SystemExit(f"unknown workload(s): {', '.join(unknown)} "
+                         f"(have: {', '.join(workload_names())})")
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    bad = sorted(set(kinds) - set(KINDS))
+    if bad:
+        raise SystemExit(f"unknown fault kind(s): {', '.join(bad)} "
+                         f"(have: {', '.join(KINDS)})")
+    spec = CampaignSpec(
+        workloads=workloads, runs=args.runs, seed=args.seed, kinds=kinds,
+        horizon=ms(args.horizon_ms), module=args.module,
+        ladder=args.ladder)
+    progress = None if args.quiet else (
+        lambda msg: print(f"  {msg}", file=sys.stderr))
+    report = run_campaign(spec, progress=progress)
+    print(format_campaign(report))
+    if args.bundle_dir:
+        os.makedirs(args.bundle_dir, exist_ok=True)
+        for outcome in report.failures():
+            path = os.path.join(
+                args.bundle_dir,
+                f"chaos-{outcome.workload}-run{outcome.index}.json")
+            with open(path, "w") as fh:
+                json.dump(failure_bundle(outcome), fh, indent=2,
+                          sort_keys=True)
+            print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_bench_list(args) -> int:
     from repro.bench.reporting import format_table
     from repro.exp import all_experiments, get_profile
@@ -483,6 +529,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default="64KiB,1MiB")
     common(p)
     p.set_defaults(func=cmd_tuning_table)
+
+    p = sub.add_parser(
+        "chaos", help="seeded chaos campaign with invariant checks")
+    p.add_argument("--workloads", default="ext_stencil,pallreduce",
+                   help="comma list of registered workloads")
+    p.add_argument("--runs", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign root seed (each run derives its own)")
+    p.add_argument("--kinds", default=",".join(
+        ("flap_storm", "rail_failure", "rnr_burst", "latency_train")))
+    p.add_argument("--horizon-ms", type=float, default=2.5,
+                   help="virtual-time window faults land inside (ms)")
+    p.add_argument("--module", default="native",
+                   choices=["native", "persist"])
+    p.add_argument("--ladder", action="store_true",
+                   help="wrap every edge in the degradation ladder")
+    p.add_argument("--bundle-dir", default=None,
+                   help="write a failure-repro bundle per violating run")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-run progress on stderr")
+    p.set_defaults(func=cmd_chaos)
 
     autotune = sub.add_parser(
         "autotune", help="closed-loop tuning store (repro.autotune)")

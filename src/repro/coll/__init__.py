@@ -18,8 +18,9 @@ Members:
 * :class:`Pbcast` / :class:`Pallreduce` — partitioned broadcast and
   allreduce over binomial trees, forwarding partitions down/up the
   tree as they become ready;
-* :func:`edge_modules` / :func:`per_edge_autotuners` — per-edge
-  transport-plan resolution;
+* :func:`edge_modules` / :func:`per_edge_autotuners` /
+  :func:`ladder_modules` — per-edge transport-plan resolution (the
+  last wraps each edge in a graceful-degradation ladder);
 * :func:`run_stencil` — the threaded 2D/3D stencil application driver
   (worker threads ``Pready`` boundary partitions as they finish).
 
@@ -31,7 +32,7 @@ so applications stay written against the rank-local MPI surface.
 
 from repro.coll.base import PartitionedCollective
 from repro.coll.neighbor import PneighborAlltoall
-from repro.coll.plans import edge_modules, per_edge_autotuners
+from repro.coll.plans import edge_modules, ladder_modules, per_edge_autotuners
 from repro.coll.stencil import StencilResult, run_stencil
 from repro.coll.tree import Pallreduce, Pbcast
 
@@ -41,6 +42,7 @@ __all__ = [
     "Pbcast",
     "Pallreduce",
     "edge_modules",
+    "ladder_modules",
     "per_edge_autotuners",
     "StencilResult",
     "run_stencil",

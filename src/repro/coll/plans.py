@@ -73,6 +73,39 @@ def edge_modules(module_for) -> EdgeModules:
     return lambda neighbor: _spec_for(module_for)
 
 
+def ladder_modules(module_for=None, rungs=None) -> EdgeModules:
+    """Wrap every edge's transport in a graceful-degradation ladder.
+
+    ``module_for`` (any shape :func:`edge_modules` accepts) names the
+    preferred rung; the default fallback chain appends the
+    ``part_persist`` baseline and the QP-free ``channels`` transport
+    below it, so a tripped edge degrades native → persist → channels.
+    Pass ``rungs`` (a per-neighbor callable or a list of specs) to
+    override the full chain instead.
+    """
+    from repro.mpi.channel_module import ChannelSpec
+    from repro.mpi.ladder import LadderSpec
+    from repro.mpi.persist_module import PersistSpec
+
+    if rungs is not None:
+        if callable(rungs):
+            return lambda neighbor: LadderSpec(
+                [_spec_for(r) for r in rungs(neighbor)])
+        specs = [_spec_for(r) for r in rungs]
+        return lambda neighbor: LadderSpec(specs)
+    resolve = edge_modules(module_for)
+
+    def build(neighbor: int) -> ModuleSpec:
+        top = resolve(neighbor)
+        chain = [top]
+        if not isinstance(top, PersistSpec):
+            chain.append(PersistSpec())
+        chain.append(ChannelSpec())
+        return LadderSpec(chain)
+
+    return build
+
+
 def per_edge_autotuners(params: Optional[dict] = None,
                         store=None) -> EdgeModules:
     """A fresh closed-loop autotuner per neighbor.

@@ -272,6 +272,21 @@ class PartitionedConfig:
     #: unit stays small.  Disable to keep the aggregation plan fixed
     #: across failures.
     degrade_on_fault: bool = True
+    #: Consecutive per-edge failure events (retry exhaustions, deadline
+    #: misses) that trip the edge's circuit breaker when a degradation
+    #: ladder wraps the transport (:class:`repro.mpi.ladder.LadderSpec`).
+    breaker_threshold: int = 3
+    #: Clean rounds an edge must complete on a fallback rung before the
+    #: ladder probes a promotion back toward the preferred transport.
+    breaker_probation: int = 4
+    #: Per-edge round deadline for the ladder's progress watchdog,
+    #: seconds; a round finishing later counts as a breaker failure
+    #: event.  ``None`` (the default) disables the watchdog entirely.
+    watchdog_deadline: Optional[float] = None
+    #: Wall deadline for one Start..Wait epoch (``wait_partitioned``),
+    #: virtual seconds; overrunning it raises
+    #: :class:`~repro.errors.EpochDeadlineError`.  ``None`` = off.
+    epoch_deadline: Optional[float] = None
 
     def validate(self) -> None:
         if self.default_qps < 1:
@@ -282,6 +297,14 @@ class PartitionedConfig:
             raise ConfigError("t_rx_wr must be non-negative")
         if self.reconnect_delay < 0:
             raise ConfigError("reconnect_delay must be non-negative")
+        if self.breaker_threshold < 1:
+            raise ConfigError("breaker_threshold must be >= 1")
+        if self.breaker_probation < 1:
+            raise ConfigError("breaker_probation must be >= 1")
+        if self.watchdog_deadline is not None and self.watchdog_deadline <= 0:
+            raise ConfigError("watchdog_deadline must be positive or None")
+        if self.epoch_deadline is not None and self.epoch_deadline <= 0:
+            raise ConfigError("epoch_deadline must be positive or None")
 
 
 @dataclass(frozen=True)
@@ -365,6 +388,12 @@ _ENV_KNOBS = {
     "REPRO_QP_TIMEOUT": ("nic", "qp_timeout", int),
     "REPRO_RECONNECT_DELAY_US": ("part", "reconnect_delay",
                                  lambda v: float(v) * 1e-6),
+    "REPRO_BREAKER_THRESHOLD": ("part", "breaker_threshold", int),
+    "REPRO_BREAKER_PROBATION": ("part", "breaker_probation", int),
+    "REPRO_WATCHDOG_DEADLINE_US": ("part", "watchdog_deadline",
+                                   lambda v: float(v) * 1e-6),
+    "REPRO_EPOCH_DEADLINE_US": ("part", "epoch_deadline",
+                                lambda v: float(v) * 1e-6),
     "REPRO_LINK_LATENCY_US": ("link", "latency", lambda v: float(v) * 1e-6),
     "REPRO_CORES_PER_NODE": ("host", "cores_per_node", int),
     "REPRO_SEED": (None, "seed", int),

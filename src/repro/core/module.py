@@ -223,6 +223,16 @@ class NativeVerbsModule(PartitionedModule):
             from repro.autotune.observe import IterationObservation
 
             deltas = counters.since(self._counter_snapshot)
+            # An observation that overlapped a recovery window measures
+            # the fault, not the arm — quarantine it so the tuner's
+            # statistics stay clean (chaos ladder, PR 6).
+            tainted = bool(
+                deltas.get("ib.retry_exhausted", 0)
+                or deltas.get("ib.reconnects", 0)
+                or self._tracker.recovering
+                or self._fault_in_round)
+            if tainted:
+                counters.inc("autotune.quarantined")
             self._controller.observe(IterationObservation(
                 round=self._planned_round,
                 completion_time=max(self._round_send_done,
@@ -231,6 +241,7 @@ class NativeVerbsModule(PartitionedModule):
                 wrs_posted=self.total_wrs_posted - self._wrs_snapshot,
                 timer_flushes=self.timer_flushes - self._flush_snapshot,
                 retransmits=deltas.get("ib.retransmits", 0),
+                tainted=tainted,
             ))
         # Never flip the layout under pending recovery or replay: the
         # queued units were grouped under the previous round's plan.
@@ -482,8 +493,10 @@ class NativeVerbsModule(PartitionedModule):
                     from repro.errors import ChannelDownError
 
                     raise ChannelDownError(
-                        f"send QP {qp.qp_num} is {qp.state.value} and "
-                        "reconnect is disabled")
+                        "send QP is down and reconnect is disabled",
+                        **self._failure_context(
+                            partitions=[(start, count)], qp_num=qp.qp_num,
+                            status=qp.state.value))
                 self._tracker.queue([(start, count)])
                 self._note_fault()
                 return
@@ -531,8 +544,10 @@ class NativeVerbsModule(PartitionedModule):
                     from repro.errors import ChannelDownError
 
                     raise ChannelDownError(
-                        f"send QP {qp.qp_num} is {qp.state.value} and "
-                        "reconnect is disabled")
+                        "send QP is down and reconnect is disabled",
+                        **self._failure_context(
+                            partitions=runs, qp_num=qp.qp_num,
+                            status=qp.state.value))
                 self._tracker.queue(runs)
                 self._note_fault()
                 return
@@ -596,7 +611,22 @@ class NativeVerbsModule(PartitionedModule):
         self._fault_in_round = True
         if self.cluster.config.part.degrade_on_fault:
             self._degraded = True
+        if self.ladder is not None:
+            self.ladder.note_failure("retry_exhausted", module=self)
         self._tracker.kick()
+
+    def _failure_context(self, partitions=None, **extra) -> dict:
+        """Structured context for transport errors raised off this pair."""
+        nic = self.cluster.config.nic
+        ctx = dict(
+            edge=(self.sender.rank, self.receiver.rank),
+            epoch=self.send_req.round,
+            retries={"retry_cnt": nic.retry_cnt, "rnr_retry": nic.rnr_retry},
+        )
+        if partitions is not None:
+            ctx["partitions"] = tuple(partitions)
+        ctx.update(extra)
+        return ctx
 
     def _handle_send_failure(self, wc):
         """A send WR died (retry exhaustion or flush): stash for replay.
@@ -606,15 +636,19 @@ class NativeVerbsModule(PartitionedModule):
         acked==posted invariant is restored by the replay posts.
         """
         entry = self._tracker.fail(wc.wr_id)
+        runs = None
         if entry is not None:
             _, payload = entry
-            self._tracker.queue(self._drop_wr(payload))
+            runs = self._drop_wr(payload)
+            self._tracker.queue(runs)
         if not self._recovery_enabled:
             from repro.errors import RetryExhaustedError
 
             raise RetryExhaustedError(
-                f"send WR {wc.wr_id} failed with {wc.status.value} on "
-                f"QP {wc.qp_num} and reconnect is disabled")
+                "send WR failed and reconnect is disabled",
+                **self._failure_context(
+                    partitions=runs, wr_id=wc.wr_id, qp_num=wc.qp_num,
+                    status=wc.status.value))
         self._note_fault()
         return
         yield  # pragma: no cover - generator protocol
@@ -655,6 +689,8 @@ class NativeVerbsModule(PartitionedModule):
         self._tracker.complete(wc.wr_id)
 
     def _check_send_complete(self) -> None:
+        if self._retired_for(self.send_req):
+            return
         if (not self.send_req.done
                 and self._arrived is not None
                 and self._ready_count == self.send_req.n_partitions
@@ -663,6 +699,8 @@ class NativeVerbsModule(PartitionedModule):
                 and not self._tracker.replay
                 and not self._tracker.recovering
                 and self._acked == self._posted
+                and (self.ladder is None
+                     or not self.ladder.blocks_completion)
                 and bool(self._sent.all())):
             self._round_send_done = self.env.now
             self.send_req.mark_complete()
@@ -692,6 +730,8 @@ class NativeVerbsModule(PartitionedModule):
 
     def _check_recv_complete(self) -> None:
         req = self.recv_req
+        if self._retired_for(req):
+            return
         if not req.done and req.all_arrived:
             self._round_recv_done = self.env.now
             req.mark_complete()

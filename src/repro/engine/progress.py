@@ -88,12 +88,23 @@ class ProgressEngine:
         finally:
             self.lock.release()
 
-    def wait_until(self, predicate: Callable[[], bool]):
+    def wait_until(self, predicate: Callable[[], bool],
+                   deadline: "float | None" = None, describe: str = ""):
         """Progress until ``predicate()`` holds; yields (``MPI_Wait`` core).
 
         Idle stretches park on the kick latch rather than spinning.
+        With a ``deadline`` (absolute virtual time), an epoch that is
+        still incomplete at that time raises
+        :class:`~repro.errors.EpochDeadlineError` instead of waiting
+        forever — the chaos layer's bound on a hung edge.  ``describe``
+        names the waited-on work in that error.
         """
         while not predicate():
+            if deadline is not None and self.env.now >= deadline:
+                from repro.errors import EpochDeadlineError
+
+                raise EpochDeadlineError(
+                    f"epoch overran its deadline waiting for {describe or 'completion'}")
             handled = yield from self.progress_once()
             if predicate():
                 break
@@ -105,7 +116,10 @@ class ProgressEngine:
                     # rather than parking past real work.
                     self._notify.consume()
                     continue
-                yield self._notify.wait(self.idle_fallback)
+                park = self.idle_fallback
+                if deadline is not None:
+                    park = min(park, max(deadline - self.env.now, 0.0))
+                yield self._notify.wait(park)
 
     def __repr__(self) -> str:
         return (f"<ProgressEngine pollers={len(self._pollers)} "

@@ -83,6 +83,11 @@ class ReplayTracker:
         self._on_dropped = None
         self._can_replay = None
         self._replay_unit = None
+        #: When set (by the degradation ladder's mid-round takeover),
+        #: units queued for replay are handed to this callable instead
+        #: of the replay list — they will travel a rescue path, so the
+        #: recovery loop must not re-issue them on the dead one.
+        self.divert: Optional[Callable] = None
 
     def bind(self, *, recover_walk, restock, on_dropped, can_replay,
              replay_unit) -> None:
@@ -118,8 +123,15 @@ class ReplayTracker:
 
     def queue(self, units: Iterable) -> None:
         """Append units to the replay queue (exactly-once: callers move
-        each unit here at most once, on CQE error or vanish-sweep)."""
-        self.replay.extend(units)
+        each unit here at most once, on CQE error or vanish-sweep).
+
+        With a :attr:`divert` hook installed the units go there instead
+        — same at-most-once discipline, different (rescue) transport.
+        """
+        if self.divert is not None:
+            self.divert(list(units))
+        else:
+            self.replay.extend(units)
 
     # -- the recovery loop -------------------------------------------------
 
@@ -138,7 +150,7 @@ class ReplayTracker:
             for wr_id in [w for w, (tok, _) in self._inflight.items()
                           if tok in fixed]:
                 _, payload = self._inflight.pop(wr_id)
-                self.replay.extend(self._on_dropped(payload))
+                self.queue(self._on_dropped(payload))
             while self.replay:
                 unit = self.replay[0]
                 if not self._can_replay(unit):

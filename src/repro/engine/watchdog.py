@@ -1,0 +1,129 @@
+"""Per-edge deadline watchdogs and circuit breakers (chaos layer).
+
+Two pure state machines, deliberately free of simulation events so the
+off path costs nothing:
+
+* :class:`CircuitBreaker` — the classic three-state breaker.  Failure
+  events (retry exhaustions, deadline misses) accumulate; ``threshold``
+  *consecutive* failures trip the breaker OPEN, which the degradation
+  ladder maps to "demote this edge one rung".  On a fallback rung the
+  breaker runs HALF_OPEN: ``probation`` consecutive clean rounds close
+  it again, which the ladder maps to "probe a promotion".
+* :class:`EdgeWatchdog` — per-round deadline bookkeeping.  ``arm`` at
+  the round boundary, ``expired`` at the next one; a late round counts
+  as a breaker failure event even when no QP ever died (hung-but-alive
+  edges degrade too, not only loudly failing ones).
+
+Both are owned by :class:`repro.mpi.ladder.LadderModule`; the epoch
+deadline (the third watchdog of the chaos design) lives on
+:meth:`repro.engine.progress.ProgressEngine.wait_until` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one edge.
+
+    ``record_failure()`` returns True exactly when the failure trips
+    the breaker (CLOSED/HALF_OPEN -> OPEN); ``record_success()``
+    returns True exactly when a probation completes (HALF_OPEN ->
+    CLOSED).  Failures are counted per *event*, successes per clean
+    round — the caller decides what constitutes each.
+    """
+
+    def __init__(self, threshold: int, probation: int = 1):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if probation < 1:
+            raise ValueError(f"probation must be >= 1, got {probation}")
+        self.threshold = threshold
+        self.probation = probation
+        self.state = CLOSED
+        #: Consecutive failure events since the last success/reset.
+        self.failures = 0
+        #: Consecutive clean rounds while HALF_OPEN.
+        self.successes = 0
+        #: Times the breaker tripped over its lifetime.
+        self.trips = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure event; True iff this one trips the breaker."""
+        if self.state is OPEN:
+            return False
+        self.failures += 1
+        self.successes = 0
+        if self.failures >= self.threshold:
+            self.state = OPEN
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self) -> bool:
+        """Count one clean round; True iff a probation just completed."""
+        self.failures = 0
+        if self.state is not HALF_OPEN:
+            return False
+        self.successes += 1
+        if self.successes >= self.probation:
+            self.state = CLOSED
+            self.successes = 0
+            return True
+        return False
+
+    def begin_probation(self) -> None:
+        """Enter HALF_OPEN: clean rounds now count toward re-closing."""
+        self.state = HALF_OPEN
+        self.failures = 0
+        self.successes = 0
+
+    def reset(self) -> None:
+        """Fully re-close (a demotion installed a fresh transport)."""
+        self.state = CLOSED
+        self.failures = 0
+        self.successes = 0
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self.state} failures={self.failures}"
+                f"/{self.threshold} trips={self.trips}>")
+
+
+class EdgeWatchdog:
+    """Per-round progress deadline for one edge (pure bookkeeping).
+
+    ``deadline=None`` disables the watchdog: ``expired`` is always
+    False and nothing is ever recorded — the zero-overhead off path.
+    """
+
+    def __init__(self, deadline: Optional[float]):
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.deadline = deadline
+        self._armed_at: Optional[float] = None
+        #: Rounds that overran the deadline over this watchdog's life.
+        self.misses = 0
+
+    def arm(self, now: float) -> None:
+        """Start timing a round at virtual time ``now``."""
+        if self.deadline is not None:
+            self._armed_at = now
+
+    def expired(self, now: float) -> bool:
+        """Whether the armed round overran; counts and disarms if so."""
+        if self.deadline is None or self._armed_at is None:
+            return False
+        late = (now - self._armed_at) > self.deadline
+        self._armed_at = None
+        if late:
+            self.misses += 1
+        return late
+
+    def __repr__(self) -> str:
+        return f"<EdgeWatchdog deadline={self.deadline} misses={self.misses}>"

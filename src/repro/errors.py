@@ -15,6 +15,49 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
+class FailureContext:
+    """Mixin: structured localization data on transport failures.
+
+    Chaos reports (and users) localize a failure from the exception
+    object alone — which edge, which epoch, which partitions, how many
+    retries — instead of digging through traces.  All fields are
+    optional keyword arguments; plain-message construction still works
+    everywhere.
+    """
+
+    #: Recognized context fields, in display order.
+    _FIELDS = ("edge", "epoch", "partitions", "retries", "wr_id",
+               "qp_num", "status")
+
+    def __init__(self, message: str = "", **context):
+        unknown = set(context) - set(self._FIELDS)
+        if unknown:
+            raise TypeError(
+                f"unknown failure-context fields: {sorted(unknown)}")
+        #: (source rank, destination rank) of the failed edge.
+        self.edge = context.get("edge")
+        #: The request round / epoch the failure interrupted.
+        self.epoch = context.get("epoch")
+        #: Partition ``(start, count)`` runs carried by the failed work.
+        self.partitions = context.get("partitions")
+        #: Retry budgets in force when the transport gave up.
+        self.retries = context.get("retries")
+        self.wr_id = context.get("wr_id")
+        self.qp_num = context.get("qp_num")
+        #: Completion/QP status string at failure time.
+        self.status = context.get("status")
+        details = ", ".join(
+            f"{name}={context[name]!r}" for name in self._FIELDS
+            if context.get(name) is not None)
+        super().__init__(f"{message} [{details}]" if details else message)
+
+    @property
+    def context(self) -> dict:
+        """The non-empty context fields as a plain dict."""
+        return {name: getattr(self, name) for name in self._FIELDS
+                if getattr(self, name) is not None}
+
+
 # ---------------------------------------------------------------------------
 # Simulation kernel errors
 # ---------------------------------------------------------------------------
@@ -88,12 +131,13 @@ class TransportError(IBError):
     """
 
 
-class RetryExhaustedError(TransportError):
+class RetryExhaustedError(FailureContext, TransportError):
     """The NIC gave up retransmitting (``IBV_WC_RETRY_EXC_ERR``).
 
     Raised through the MPI layer when a work request exhausted the QP's
     ``retry_cnt`` (ACK timeouts) or ``rnr_retry`` (RNR NAK) budget and
-    the queue pair transitioned to ERROR.
+    the queue pair transitioned to ERROR.  Carries the structured
+    :class:`FailureContext` fields (edge, epoch, partitions, retries).
     """
 
 
@@ -106,11 +150,22 @@ class MPIError(ReproError):
     """Base class for simulated MPI runtime failures."""
 
 
-class ChannelDownError(MPIError):
+class ChannelDownError(FailureContext, MPIError):
     """A communication channel is in a failed state.
 
     Raised when an operation needs a QP that sits in ERROR (or RESET)
-    and no recovery path is armed to bring it back to RTS.
+    and no recovery path is armed to bring it back to RTS.  Carries the
+    structured :class:`FailureContext` fields (edge, epoch, partitions).
+    """
+
+
+class EpochDeadlineError(FailureContext, MPIError):
+    """A Start..Wait epoch overran its configured deadline.
+
+    Raised from :meth:`repro.engine.ProgressEngine.wait_until` when the
+    chaos watchdog layer arms ``PartitionedConfig.epoch_deadline`` — a
+    hung edge surfaces as a typed, localizable error instead of
+    spinning the progress engine forever.
     """
 
 

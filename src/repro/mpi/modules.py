@@ -48,6 +48,21 @@ class PartitionedModule(abc.ABC):
         self.send_req = send_req
         self.recv_req = recv_req
         self.env = cluster.env
+        #: Set by :class:`repro.mpi.ladder.LadderModule` when this
+        #: module runs as a ladder rung: failure events report to
+        #: ``ladder.note_failure`` and completion defers to the
+        #: ladder's rescue bookkeeping.  ``None`` on the normal path.
+        self.ladder = None
+        #: Last round this module owns, set when a ladder swaps it out.
+        #: A retired rung keeps serving the in-flight round (the two
+        #: sides reach the boundary at different times), then its
+        #: completion hooks go inert once the request advances past it.
+        self.retired_after = None
+
+    def _retired_for(self, req) -> bool:
+        """Whether this module no longer owns ``req``'s current round."""
+        return (self.retired_after is not None
+                and req.round > self.retired_after)
 
     @abc.abstractmethod
     def setup(self, send_req: "PsendRequest", recv_req: "PrecvRequest") -> None:

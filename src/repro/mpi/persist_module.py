@@ -223,6 +223,8 @@ class PersistModule(PartitionedModule):
         after the reconnect walk is exactly-once by construction.
         """
         self.cluster.fabric.counters.inc("mpi.read_replays")
+        if self.ladder is not None:
+            self.ladder.note_failure("read_replay", module=self)
         yield self.env.timeout(self.cluster.config.part.reconnect_delay)
         reconnect_walk(
             (requester, requester,
@@ -251,6 +253,8 @@ class PersistModule(PartitionedModule):
                               gap=self.receiver.config.ucx.gap_inline))
 
     def _on_partition_acked(self, wc=None) -> None:
+        if self._retired_for(self.send_req):
+            return  # stale ack into a round a newer rung owns
         self._acked += 1
         if (self._acked == self.send_req.n_partitions
                 and self._readied == self.send_req.n_partitions):

@@ -228,14 +228,21 @@ class MPIProcess:
         if faults is None or not faults.schedule.allow_reconnect:
             from repro.errors import ChannelDownError, RetryExhaustedError
 
+            nic = self.config.nic
+            retries = {"retry_cnt": nic.retry_cnt,
+                       "rnr_retry": nic.rnr_retry}
             if wc.status in (WCStatus.RETRY_EXC_ERR,
                              WCStatus.RNR_RETRY_EXC_ERR):
                 raise RetryExhaustedError(
-                    f"p2p WR {wc.wr_id} failed with {wc.status.value} on "
-                    f"QP {wc.qp_num}")
+                    "p2p WR failed and reconnect is disabled",
+                    edge=(self.rank, None), wr_id=wc.wr_id,
+                    qp_num=wc.qp_num, status=wc.status.value,
+                    retries=retries)
             raise ChannelDownError(
-                f"p2p WR {wc.wr_id} flushed ({wc.status.value}) on "
-                f"QP {wc.qp_num}")
+                "p2p WR flushed and reconnect is disabled",
+                edge=(self.rank, None), wr_id=wc.wr_id,
+                qp_num=wc.qp_num, status=wc.status.value,
+                retries=retries)
         self.cluster.fabric.counters.inc("mpi.p2p_failures")
         entry = self.router.pop_failure(wc.wr_id)
         if entry is None:
@@ -425,8 +432,18 @@ class MPIProcess:
         return bool(req.arrived[partition])
 
     def wait_partitioned(self, req):
-        """``MPI_Wait`` on a partitioned request; yields."""
-        yield from self.engine.wait_until(lambda: req.done)
+        """``MPI_Wait`` on a partitioned request; yields.
+
+        With ``part.epoch_deadline`` configured the wait is bounded:
+        an epoch still incomplete after that much virtual time raises
+        :class:`~repro.errors.EpochDeadlineError` instead of hanging.
+        """
+        deadline = self.config.part.epoch_deadline
+        if deadline is not None:
+            deadline = self.env.now + deadline
+        yield from self.engine.wait_until(
+            lambda: req.done, deadline=deadline,
+            describe=f"partitioned {req.kind} round {req.round}")
         return req
 
     # ------------------------------------------------------------------

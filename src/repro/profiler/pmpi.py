@@ -35,6 +35,12 @@ class ProfiledRound:
     #: partition -> time the program reached MPI_Pready for it.
     pready: dict[int, float] = field(default_factory=dict)
     t_complete: Optional[float] = None
+    #: Transport module that served the round — for a degradation
+    #: ladder this is the *active rung* name, so demotions/promotions
+    #: show up round by round in the profile.
+    module: Optional[str] = None
+    #: Ladder rung index (None when the edge runs no ladder).
+    level: Optional[int] = None
 
     def pready_times(self) -> list[float]:
         """Per-partition call times, ordered by partition index."""
@@ -60,6 +66,11 @@ class CollectiveRound:
     #: outgoing edge, snapshotted when the round's Wait completes.
     neighbor_pready: dict[int, list] = field(default_factory=dict)
     t_complete: Optional[float] = None
+    #: neighbor rank -> transport module (active ladder rung) that
+    #: served the round's outgoing edge, snapshotted at Wait.
+    neighbor_modules: dict[int, str] = field(default_factory=dict)
+    #: neighbor rank -> ladder rung index (None off-ladder edges).
+    neighbor_levels: dict[int, Optional[int]] = field(default_factory=dict)
 
     def neighbor_spread(self) -> dict[int, Optional[float]]:
         """Per-edge pready spread (None where nothing was readied)."""
@@ -134,6 +145,15 @@ class PMPIProfiler:
         process.pcoll_pready = pcoll_pready
         process.pcoll_wait = pcoll_wait
 
+    @staticmethod
+    def _module_of(req) -> tuple[Optional[str], Optional[int]]:
+        """(module name, ladder level) actually serving ``req`` now."""
+        module = getattr(req, "module", None)
+        if module is None:
+            return getattr(req, "module_name", None), None
+        return (getattr(module, "rung_name", req.module_name),
+                getattr(module, "level", None))
+
     def _record_start(self, process, req) -> None:
         index = self._round_counter.get(req.request_id, 0)
         self._round_counter[req.request_id] = index + 1
@@ -142,6 +162,7 @@ class PMPIProfiler:
             round_index=index,
             t_start=process.env.now,
         )
+        record.module, record.level = self._module_of(req)
         self._open[req.request_id] = record
         self.rounds.append(record)
 
@@ -154,6 +175,9 @@ class PMPIProfiler:
         record = self._open.get(req.request_id)
         if record is not None and record.t_complete is None:
             record.t_complete = process.env.now
+            # Re-snapshot: the first Start can run before match time,
+            # and a ladder may have swapped rungs since Start.
+            record.module, record.level = self._module_of(req)
 
     def _record_coll_start(self, process, coll) -> None:
         index = self._coll_counter.get(id(coll), 0)
@@ -179,6 +203,10 @@ class PMPIProfiler:
             record.neighbor_pready = {
                 nbr: list(req.pready_times)
                 for nbr, req in coll.sends.items()}
+            for nbr, req in coll.sends.items():
+                name, level = self._module_of(req)
+                record.neighbor_modules[nbr] = name
+                record.neighbor_levels[nbr] = level
 
     # -- accessors -----------------------------------------------------------
 

@@ -152,3 +152,40 @@ def test_store_overwrites_atomically(tmp_path):
     payload = store.entries()[0]
     assert payload["schema"] == SCHEMA
     assert payload["key"] == key
+
+
+# -- quarantine (chaos: faulted rounds must not poison the policy) -------
+
+
+def test_tainted_observation_is_quarantined():
+    ctrl = AutotuneController(StaticPolicy(PlanChoice(4, 1)))
+    choice = ctrl.plan_for_round(0)
+    ctrl.observe(IterationObservation(
+        round=0, completion_time=9.0, pready_times=(0.0,), tainted=True))
+    record = ctrl.history[0]
+    # Recorded for diagnostics, invisible to the statistics.
+    assert record.quarantined
+    assert record.completion_time == 9.0
+    assert ctrl.tracker.rounds_seen == 0
+    assert ctrl.mean_time_of(choice) is None
+    # A later clean round is credited normally.
+    ctrl.plan_for_round(1)
+    ctrl.observe(obs(1, 2.0, pready=[0.0]))
+    assert ctrl.mean_time_of(choice) == 2.0
+    plans = ctrl.round_plans()
+    assert plans[0]["quarantined"] is True
+    assert plans[1]["quarantined"] is False
+
+
+def test_tainted_observation_does_not_commit_to_store(tmp_path):
+    store = TuningStore(tmp_path)
+    key = workload_key(4, 1 << 14)
+    ctrl = AutotuneController(StaticPolicy(PlanChoice(4, 1)),
+                              store=store, store_key=key)
+    ctrl.plan_for_round(0)
+    ctrl.observe(IterationObservation(
+        round=0, completion_time=1.0, pready_times=(0.0,), tainted=True))
+    assert store.get(key) is None
+    ctrl.plan_for_round(1)
+    ctrl.observe(obs(1, 1.0, pready=[0.0]))
+    assert store.get(key) == PlanChoice(4, 1)

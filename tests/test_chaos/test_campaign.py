@@ -1,0 +1,148 @@
+"""Campaign orchestration, invariant checks, and failure bundles."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    CampaignSpec,
+    RunReport,
+    check_invariants,
+    failure_bundle,
+    format_campaign,
+    run_campaign,
+    schedule_from_dict,
+    schedule_to_dict,
+    workload_names,
+)
+from repro.chaos.workloads import _REGISTRY, WorkloadInfo
+
+
+# -- invariant checker units -------------------------------------------
+
+
+def clean_report(**over):
+    base = dict(workload="w", completed=True, duration=1e-3,
+                integrity_failures=0, counters={}, leaks=[], meta={})
+    base.update(over)
+    return RunReport(**base)
+
+
+def test_clean_report_has_no_violations():
+    assert check_invariants(clean_report()) == []
+
+
+def test_incomplete_run_is_a_violation():
+    v = check_invariants(clean_report(
+        completed=False, meta={"error": "RetryExhaustedError: boom"}))
+    assert len(v) == 1 and "RetryExhaustedError" in v[0]
+
+
+def test_integrity_failures_are_violations():
+    v = check_invariants(clean_report(integrity_failures=2))
+    assert any("integrity" in s for s in v)
+
+
+def test_duplicates_beyond_resends_violate_exactly_once():
+    ok = clean_report(counters={"mpi.duplicates_dropped": 2,
+                                "mpi.replayed_wrs": 3})
+    assert check_invariants(ok) == []
+    bad = clean_report(counters={"mpi.duplicates_dropped": 4,
+                                 "mpi.replayed_wrs": 3})
+    assert any("exactly-once" in s for s in check_invariants(bad))
+
+
+def test_leaks_and_overlong_runs_are_violations():
+    v = check_invariants(clean_report(leaks=["edge 0<->1: stuck"]))
+    assert any("leak" in s for s in v)
+    v = check_invariants(clean_report(duration=2.0), max_duration=1.0)
+    assert any("bounded time" in s for s in v)
+
+
+# -- campaign orchestration --------------------------------------------
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        CampaignSpec(runs=0)
+    with pytest.raises(ValueError):
+        CampaignSpec(workloads=())
+    with pytest.raises(ValueError):
+        CampaignSpec(kinds=())
+
+
+def test_registry_has_the_three_default_workloads():
+    assert {"ext_stencil", "pallreduce", "pbcast"} <= set(workload_names())
+
+
+@pytest.mark.faults
+def test_small_campaign_holds_all_invariants():
+    spec = CampaignSpec(workloads=("ext_stencil", "pallreduce"),
+                        runs=4, seed=5)
+    report = run_campaign(spec)
+    assert report.ok, [o.violations for o in report.failures()]
+    assert len(report.outcomes) == 4
+    assert report.kinds_run == set(spec.kinds)
+    # Seeds are replayable: the same spec reproduces the same runs.
+    again = run_campaign(spec)
+    assert [o.seed for o in again.outcomes] == \
+        [o.seed for o in report.outcomes]
+    assert [schedule_to_dict(o.schedule) for o in again.outcomes] == \
+        [schedule_to_dict(o.schedule) for o in report.outcomes]
+    text = format_campaign(report)
+    assert "all invariants held" in text
+    assert "ext_stencil" in text
+
+
+def test_campaign_captures_raised_errors_as_violations():
+    def boom(schedule, seed, **kw):
+        raise RuntimeError("kaboom")
+
+    _REGISTRY["_boom"] = WorkloadInfo(name="_boom", n_nodes=3, fn=boom)
+    try:
+        spec = CampaignSpec(workloads=("_boom",), runs=2, seed=0)
+        report = run_campaign(spec)
+    finally:
+        del _REGISTRY["_boom"]
+    assert not report.ok
+    assert report.n_violations == 2
+    outcome = report.outcomes[0]
+    assert "RuntimeError: kaboom" in outcome.report.meta["error"]
+    assert any("did not complete" in s for s in outcome.violations)
+
+
+def test_failure_bundle_round_trips(tmp_path):
+    def bad(schedule, seed, **kw):
+        return RunReport(workload="_bad", completed=True, duration=1e-3,
+                         integrity_failures=1,
+                         counters={"ib.retry_exhausted": 2})
+
+    _REGISTRY["_bad"] = WorkloadInfo(name="_bad", n_nodes=4, fn=bad)
+    try:
+        report = run_campaign(CampaignSpec(workloads=("_bad",), runs=1,
+                                           seed=9))
+    finally:
+        del _REGISTRY["_bad"]
+    outcome = report.outcomes[0]
+    bundle = failure_bundle(outcome)
+    # JSON-safe and complete enough to replay the exact run.
+    path = tmp_path / "bundle.json"
+    path.write_text(json.dumps(bundle))
+    loaded = json.loads(path.read_text())
+    assert loaded["seed"] == outcome.seed
+    assert loaded["kind"] == outcome.kind
+    assert loaded["violations"]
+    rebuilt = schedule_from_dict(loaded["schedule"])
+    assert schedule_to_dict(rebuilt) == schedule_to_dict(outcome.schedule)
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+def test_seed_matrix_campaign_with_ladder():
+    """A broader seeded matrix: every kind, both workload families,
+    ladder enabled — zero integrity/exactly-once violations."""
+    spec = CampaignSpec(workloads=("ext_stencil", "pallreduce", "pbcast"),
+                        runs=12, seed=2, ladder=True)
+    report = run_campaign(spec)
+    assert report.ok, [failure_bundle(o) for o in report.failures()]
+    assert report.kinds_run == set(spec.kinds)

@@ -175,3 +175,57 @@ def test_collective_member_requests_also_profiled():
     profiler = run_coll_profiled(rounds=1, world=3)
     # 2 sends + 2 recvs on rank 0, one Start each.
     assert len(profiler.rounds) == 4
+
+
+# ---------------------------------------------------------------------------
+# ladder visibility (chaos: rung transitions show up round by round)
+# ---------------------------------------------------------------------------
+
+
+def test_rounds_carry_the_serving_module():
+    profiler = run_profiled(rounds=2)
+    for record in profiler.completed_rounds():
+        assert record.module == "part_persist"
+        assert record.level is None  # no ladder on this edge
+
+
+def test_collective_rounds_carry_neighbor_modules():
+    profiler = run_coll_profiled(rounds=1, world=3)
+    record = profiler.completed_coll_rounds()[0]
+    assert sorted(record.neighbor_modules) == [1, 2]
+    assert set(record.neighbor_modules.values()) == {"part_persist"}
+    assert set(record.neighbor_levels.values()) == {None}
+
+
+def test_ladder_rounds_report_rung_and_level():
+    from repro.core import FixedAggregation, NativeSpec
+    from repro.mpi.channel_module import ChannelSpec
+    from repro.mpi.ladder import LadderSpec
+
+    spec = lambda: LadderSpec([NativeSpec(FixedAggregation(2, 1)),
+                               ChannelSpec()])
+    cluster = Cluster(n_nodes=2)
+    s_proc, r_proc = cluster.ranks(2)
+    profiler = PMPIProfiler()
+    profiler.attach(s_proc)
+    sbuf = PartitionedBuffer(4, 1 * KiB, backed=True)
+    rbuf = PartitionedBuffer(4, 1 * KiB, backed=True)
+
+    def sender(proc):
+        req = proc.psend_init(sbuf, dest=1, tag=0, module=spec())
+        yield from proc.start(req)
+        for i in range(4):
+            yield from proc.pready(req, i)
+        yield from proc.wait_partitioned(req)
+
+    def receiver(proc):
+        req = proc.precv_init(rbuf, source=0, tag=0, module=spec())
+        yield from proc.start(req)
+        yield from proc.wait_partitioned(req)
+
+    cluster.spawn(sender(s_proc))
+    cluster.spawn(receiver(r_proc))
+    cluster.run()
+    record = profiler.completed_rounds()[0]
+    assert record.module == "native_verbs"
+    assert record.level == 0

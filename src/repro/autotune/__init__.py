@@ -6,9 +6,11 @@ controller observes every iteration of a persistent partitioned
 exchange and adapts the next iteration's ``(n_transport, n_qps, δ)``
 plan, persisting what it learns across runs.
 
-Layering: ``observe`` (sensors) → ``policy`` (decisions) →
+Layering: ``observe`` (sensors) → ``policy`` / ``plan_policy``
+(decisions; the latter searches by rewriting the ``repro.plan`` IR) →
 ``controller`` (the loop) → ``aggregator`` (the ``core.module``
-plug-in) → ``store`` (cross-run persistence).
+plug-in) → ``store`` (cross-run persistence, keyed by workload and
+plan-space digest).
 """
 
 from repro.autotune.aggregator import (
@@ -18,6 +20,7 @@ from repro.autotune.aggregator import (
 )
 from repro.autotune.controller import AutotuneController, RoundRecord
 from repro.autotune.observe import ArrivalTracker, IterationObservation
+from repro.autotune.plan_policy import PlanMutationPolicy, plan_to_choice
 from repro.autotune.policy import (
     BanditPolicy,
     DeltaTrackerPolicy,
@@ -36,8 +39,10 @@ __all__ = [
     "DeltaTrackerPolicy",
     "IterationObservation",
     "PlanChoice",
+    "PlanMutationPolicy",
     "Policy",
     "PolicyBuilder",
+    "plan_to_choice",
     "RoundRecord",
     "StaticPolicy",
     "TuningStore",

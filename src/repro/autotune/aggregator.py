@@ -62,8 +62,13 @@ class AdaptiveAggregator(Aggregator):
             choice.validate_for(n_user)
         store_key = None
         if self.store is not None:
+            # The plan-space digest keys the entry to the *structure*
+            # being searched, not just the workload: two policies whose
+            # knob tuples coincide but whose plan IR differs get
+            # distinct entries.
             store_key = workload_key(
                 n_user, n_user * partition_size, self.config_tag,
+                plan_space=policy.plan_space_digest(),
                 **self.key_extra)
         controller = AutotuneController(
             policy,
@@ -118,6 +123,11 @@ def build_autotuner(params: Optional[dict] = None,
       ``margin``, ``alpha``, ``min_delta``, ``max_delta``.
     * ``"static"`` — pin ``params["choice"]`` (controller machinery
       validation; behaves like the equivalent fixed aggregator).
+    * ``"plan_mutation"`` — epsilon-greedy walk of the plan-IR rewrite
+      graph (:class:`~repro.autotune.plan_policy.PlanMutationPolicy`)
+      from a PLogGP-seeded (or explicit ``seed_plan`` text) leaf plan;
+      knobs: ``deltas``, ``epsilon``, ``decay``, ``bandit_seed``,
+      ``expand_after``, ``max_frontier``, ``delay``, ``seed_model``.
     """
     p = dict(params or {})
     name = p.get("policy", "bandit")
@@ -165,6 +175,37 @@ def build_autotuner(params: Optional[dict] = None,
     elif name == "static":
         def builder(n_user, partition_size, config):
             return StaticPolicy(PlanChoice.from_dict(p["choice"]))
+    elif name == "plan_mutation":
+        def builder(n_user, partition_size, config):
+            from repro.plan import leaf_plan, parse
+
+            from repro.autotune.plan_policy import PlanMutationPolicy
+
+            seed_text = p.get("seed_plan")
+            if seed_text is not None:
+                seed_plan = parse(seed_text)
+            else:
+                from repro.model.ploggp import optimal_transport_partitions
+
+                model = _seed_params(p)
+                if model is None:
+                    raise ConfigError(
+                        "plan_mutation needs a seed_plan or seed_model")
+                t = optimal_transport_partitions(
+                    model, n_user * partition_size, n_user=n_user,
+                    delay=p.get("delay", ms(4)),
+                    max_transport=p.get("max_transport", 32))
+                t = min(t, n_user)
+                seed_plan = leaf_plan(t, _qps_for(t, n_user, config))
+            return PlanMutationPolicy(
+                seed_plan, n_user=n_user, config=config,
+                deltas=tuple(p.get("deltas", [])),
+                epsilon=p.get("epsilon", 0.3),
+                decay=p.get("decay", 0.9),
+                seed=p.get("bandit_seed", 0),
+                expand_after=p.get("expand_after", 2),
+                max_frontier=p.get("max_frontier", 32),
+                min_confident_plays=p.get("min_confident_plays", 2))
     else:
         raise ConfigError(f"unknown autotune policy {name!r}")
 

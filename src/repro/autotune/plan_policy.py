@@ -1,0 +1,231 @@
+"""Plan-mutation search: tune by rewriting the plan IR, not a grid.
+
+Where :class:`~repro.autotune.policy.BanditPolicy` draws arms from a
+fixed candidate grid, :class:`PlanMutationPolicy` walks the mutation
+graph of :func:`repro.plan.mutate.neighbors`: it starts from a
+model-seeded leaf plan, plays each frontier plan, and — once the
+incumbent best has proven itself — expands the frontier with the
+incumbent's single-step rewrites.  Search therefore spends its rounds
+in the neighbourhood of what is already winning instead of sweeping a
+fixed cross product, and the set of plans it may ever try is exactly
+the reachable region of the rewrite graph.
+
+The policy still speaks :class:`~repro.autotune.policy.PlanChoice` to
+the controller/module (a leaf plan and a choice triple are
+bijective), but its identity is IR-native: frontier membership,
+crediting and the tuning-store key all go through plan digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.plan import Aggregate, Partition, Plan, QPPool, choice_plan
+from repro.plan.mutate import neighbors
+
+from repro.autotune.policy import PlanChoice, Policy
+
+
+def plan_to_choice(plan: Plan) -> PlanChoice:
+    """The 3-knob choice a leaf plan denotes (inverse of
+    :func:`repro.plan.choice_plan`)."""
+    part = plan.first(Partition)
+    if part is None:
+        raise ConfigError(
+            f"not a leaf plan (no partition op): {plan.digest}")
+    pool = plan.first(QPPool)
+    agg = plan.first(Aggregate)
+    return PlanChoice(
+        n_transport=part.n,
+        n_qps=pool.n if pool is not None else 1,
+        delta=agg.delta if agg is not None else None)
+
+
+class PlanMutationPolicy(Policy):
+    """Epsilon-greedy search over the plan-rewrite graph.
+
+    Rounds proceed in three regimes:
+
+    1. **sweep** — every frontier plan gets one play, in insertion
+       order;
+    2. **expand** — when the incumbent best has ``expand_after``
+       plays and has not been expanded yet, its
+       :func:`~repro.plan.mutate.neighbors` join the frontier
+       (bounded by ``max_frontier``), sending the policy back to the
+       sweep;
+    3. **exploit** — otherwise play the incumbent, except with
+       probability ``epsilon x decay^t`` a uniform frontier draw
+       (deterministic given ``seed``).
+
+    The policy is ``confident`` once the frontier is fully played,
+    the incumbent has been expanded (its whole neighbourhood was
+    evaluated — a local optimum of the rewrite graph), and the
+    incumbent has ``min_confident_plays`` plays.
+    """
+
+    def __init__(self, seed_plan: Plan, n_user: int,
+                 config: ClusterConfig,
+                 deltas: Sequence[Optional[float]] = (),
+                 qp_cap: Optional[int] = None,
+                 epsilon: float = 0.3, decay: float = 0.9,
+                 seed: int = 0, expand_after: int = 2,
+                 max_frontier: int = 32,
+                 min_confident_plays: int = 2):
+        from repro.core.aggregators import _qps_for
+
+        if not (0 <= epsilon <= 1):
+            raise ConfigError(f"epsilon must be in [0, 1], got {epsilon}")
+        if not (0 < decay <= 1):
+            raise ConfigError(f"decay must be in (0, 1], got {decay}")
+        if expand_after < 1:
+            raise ConfigError(
+                f"expand_after must be >= 1, got {expand_after}")
+        if max_frontier < 2:
+            raise ConfigError(
+                f"max_frontier must be >= 2, got {max_frontier}")
+        self.n_user = n_user
+        self.config = config
+        self.deltas = tuple(deltas)
+        #: Ceiling on qp_pool mutations; the adaptive aggregator
+        #: provisions this many QPs, so no rewrite can outgrow them.
+        self.qp_cap = qp_cap if qp_cap is not None \
+            else _qps_for(n_user, n_user, config)
+        self.epsilon = epsilon
+        self.decay = decay
+        self.expand_after = expand_after
+        self.max_frontier = max_frontier
+        self.min_confident_plays = min_confident_plays
+        self._rng = np.random.default_rng(seed)
+        self._steps = 0
+        #: digest -> Plan, in insertion order (the search frontier).
+        self._frontier: dict[str, Plan] = {}
+        self._plays: dict[str, int] = {}
+        self._mean_cost: dict[str, float] = {}
+        self._expanded: set[str] = set()
+        # Canonicalize: frontier identity is the digest of the bare
+        # 3-knob leaf form, the same form observe() derives from the
+        # round's PlanChoice — so crediting always finds its plan.
+        seed_plan = choice_plan(plan_to_choice(seed_plan))
+        self._seed_digest = seed_plan.digest
+        self._add(seed_plan)
+        # Provisioning envelope: make the reachable maximum (widest
+        # partition fan-out, QP ceiling) a real frontier member, so
+        # candidates() — which sizes the aggregator's QP pool — covers
+        # every plan the mutation walk can reach.
+        self._add(self._envelope(seed_plan))
+
+    # -- frontier plumbing ---------------------------------------------
+
+    def _add(self, plan: Plan) -> None:
+        if plan.digest in self._frontier:
+            return
+        if len(self._frontier) >= self.max_frontier:
+            return
+        plan_to_choice(plan).validate_for(self.n_user)
+        self._frontier[plan.digest] = plan
+        self._plays[plan.digest] = 0
+        self._mean_cost[plan.digest] = 0.0
+
+    def _envelope(self, seed_plan: Plan) -> Plan:
+        choice = plan_to_choice(seed_plan)
+        n_max = 1 << (self.n_user.bit_length() - 1)
+        return choice_plan(PlanChoice(
+            n_transport=n_max,
+            n_qps=max(1, min(self.qp_cap, n_max)),
+            delta=choice.delta))
+
+    def _best_digest(self) -> str:
+        played = [(self._mean_cost[d], d) for d in self._frontier
+                  if self._plays[d]]
+        if not played:
+            return self._seed_digest
+        return min(played)[1]
+
+    def _expand(self, digest: str) -> None:
+        self._expanded.add(digest)
+        for cand in neighbors(self._frontier[digest], self.n_user,
+                              self.config, deltas=self.deltas,
+                              qp_cap=self.qp_cap):
+            self._add(cand)
+
+    # -- Policy interface ----------------------------------------------
+
+    def candidates(self) -> list[PlanChoice]:
+        return [plan_to_choice(p) for p in self._frontier.values()]
+
+    def frontier(self) -> list[Plan]:
+        """The current frontier plans, in insertion order."""
+        return list(self._frontier.values())
+
+    def choose(self, round_no: int) -> PlanChoice:
+        best = self._best_digest()
+        if (self._plays[best] >= self.expand_after
+                and best not in self._expanded
+                and len(self._frontier) < self.max_frontier):
+            self._expand(best)
+        for digest, plays in self._plays.items():
+            if plays == 0:
+                return plan_to_choice(self._frontier[digest])
+        self._steps += 1
+        eps = self.epsilon * self.decay ** self._steps
+        if self._rng.random() < eps:
+            digests = list(self._frontier)
+            pick = digests[int(self._rng.integers(len(digests)))]
+            return plan_to_choice(self._frontier[pick])
+        return plan_to_choice(self._frontier[best])
+
+    def observe(self, choice, obs, tracker):
+        digest = choice_plan(choice).digest
+        if digest not in self._frontier:
+            return  # a pinned/foreign choice; nothing to credit
+        self._plays[digest] += 1
+        n = self._plays[digest]
+        self._mean_cost[digest] += \
+            (obs.completion_time - self._mean_cost[digest]) / n
+
+    def best(self) -> PlanChoice:
+        return plan_to_choice(self._frontier[self._best_digest()])
+
+    def best_plan_ir(self) -> Plan:
+        return self._frontier[self._best_digest()]
+
+    @property
+    def confident(self) -> bool:
+        if any(p == 0 for p in self._plays.values()):
+            return False
+        best = self._best_digest()
+        if best not in self._expanded \
+                and len(self._frontier) < self.max_frontier:
+            return False
+        return self._plays[best] >= self.min_confident_plays
+
+    def plan_space_digest(self) -> str:
+        """Identity of the reachable rewrite space (seed + move set).
+
+        The frontier grows over time, so unlike the grid policies the
+        space is identified by its generator: the seed plan's digest,
+        the δ move set, and the QP ceiling.
+        """
+        spec = "|".join([
+            "mutation", self._seed_digest, str(self.qp_cap),
+            ",".join("none" if d is None else repr(float(d))
+                     for d in self.deltas),
+        ])
+        return hashlib.sha256(spec.encode()).hexdigest()[:16]
+
+    def mean_cost(self, choice: PlanChoice) -> Optional[float]:
+        """Observed mean completion time of ``choice`` (None if unplayed)."""
+        digest = choice_plan(choice).digest
+        if self._plays.get(digest):
+            return self._mean_cost[digest]
+        return None
+
+    def describe(self) -> str:
+        played = sum(1 for p in self._plays.values() if p)
+        return (f"plan-mutation({played}/{len(self._frontier)} plans "
+                f"played, {len(self._expanded)} expanded)")

@@ -95,6 +95,30 @@ class Policy(abc.ABC):
         """True once :meth:`best` is worth persisting."""
         return False
 
+    def best_plan_ir(self):
+        """:meth:`best` as a :class:`repro.plan.Plan` (IR leaf form)."""
+        from repro.plan import choice_plan
+
+        return choice_plan(self.best())
+
+    def plan_space_digest(self) -> str:
+        """Content digest of the plan space this policy searches.
+
+        Mixed into the :class:`~repro.autotune.store.TuningStore` key,
+        so two policies whose knob tuples coincide but whose plan
+        structures differ can never collide on a stored entry.  The
+        default hashes the sorted IR digests of every candidate;
+        policies with an unbounded space override this with their
+        generator's identity.
+        """
+        import hashlib
+
+        from repro.plan import choice_plan
+
+        digests = sorted(choice_plan(c).digest for c in self.candidates())
+        return hashlib.sha256(
+            "\n".join(digests).encode()).hexdigest()[:16]
+
     def describe(self) -> str:
         return type(self).__name__
 

@@ -21,6 +21,13 @@ The registered paper experiments run through the ``bench`` group
     repro-bench bench run fig06 fig08 --profile fast --jobs 4
     repro-bench bench compare BENCH_fig06.json baseline/BENCH_fig06.json
 
+and the ``plan`` group renders the communication-plan IR each
+experiment's points lower to (see ``docs/PLAN_IR.md``)::
+
+    repro-bench plan show fig08 --profile fast
+    repro-bench plan diff fig08 --baseline-profile paper
+    repro-bench plan diff ext_stencil ext_autotune
+
 Sizes accept ``B``/``KiB``/``MiB``/``GiB`` suffixes.  Results print as
 the same plain-text tables the ``benchmarks/`` scripts emit; ``bench
 run`` additionally writes versioned JSON artifacts.
@@ -432,6 +439,38 @@ def cmd_bench_run(args) -> int:
     return 0
 
 
+def _check_experiments(*names) -> None:
+    from repro.exp import experiment_names
+
+    unknown = sorted(set(names) - set(experiment_names()))
+    if unknown:
+        known = ", ".join(experiment_names())
+        raise SystemExit(
+            f"unknown experiment(s): {', '.join(unknown)} (have: {known})")
+
+
+def cmd_plan_show(args) -> int:
+    from repro.exp import render_plans
+
+    _check_experiments(args.experiment)
+    print(render_plans(args.experiment, args.profile), end="")
+    return 0
+
+
+def cmd_plan_diff(args) -> int:
+    from repro.exp import diff_plans
+
+    baseline = args.baseline or args.experiment
+    _check_experiments(args.experiment, baseline)
+    report = diff_plans(args.experiment, baseline, args.profile,
+                        args.baseline_profile)
+    if not report:
+        print("plans identical")
+        return 0
+    print(report)
+    return 1
+
+
 def cmd_bench_compare(args) -> int:
     from repro.exp import compare_results, load_result
 
@@ -580,6 +619,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default="results/autotune-store",
                    help="tuning store directory (default: %(default)s)")
     p.set_defaults(func=cmd_autotune_show)
+
+    plan = sub.add_parser(
+        "plan", help="communication-plan IR per experiment (repro.plan)")
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+
+    p = plan_sub.add_parser(
+        "show", help="print the plan each sweep point lowers to")
+    p.add_argument("experiment", metavar="EXPERIMENT",
+                   help="registered experiment name")
+    p.add_argument("--profile", default="fast",
+                   help="sweep profile (default: %(default)s)")
+    p.set_defaults(func=cmd_plan_show)
+
+    p = plan_sub.add_parser(
+        "diff", help="diff two experiments' (or profiles') plans")
+    p.add_argument("experiment", metavar="EXPERIMENT")
+    p.add_argument("baseline", metavar="BASELINE", nargs="?", default=None,
+                   help="baseline experiment (default: EXPERIMENT itself, "
+                        "for cross-profile diffs)")
+    p.add_argument("--profile", default="fast",
+                   help="profile for EXPERIMENT (default: %(default)s)")
+    p.add_argument("--baseline-profile", default=None,
+                   help="profile for BASELINE (default: --profile)")
+    p.set_defaults(func=cmd_plan_diff)
 
     bench = sub.add_parser(
         "bench", help="registered paper experiments (figures/tables)")

@@ -1,4 +1,4 @@
-"""Per-edge transport-plan resolution.
+"""Per-edge transport-plan resolution, lowered through the plan IR.
 
 Every edge of a partitioned collective is its own matched pair, so
 every edge can run its own aggregation plan.  :func:`edge_modules`
@@ -11,6 +11,9 @@ autotuner per neighbor" — into one canonical shape::
 Accepted inputs:
 
 * ``None`` — the ``part_persist`` baseline on every edge;
+* a :class:`repro.plan.Plan` — lowered through
+  :func:`repro.plan.lower`; a plan with top-level ``edge`` ops
+  resolves per neighbor (non-edge ops are the default body);
 * an :class:`~repro.core.aggregators.Aggregator` — the native module
   with that (shared) aggregator on every edge; static aggregators are
   stateless so sharing is safe, and each matched pair still computes
@@ -20,6 +23,12 @@ Accepted inputs:
 * a one-argument callable ``f(neighbor)`` returning any of the above
   — full per-edge control (:func:`per_edge_autotuners` builds the
   common case: one independent autotune controller per neighbor).
+
+Since the plan-IR refactor, the canonical degradation ladder is not
+hand-assembled here: :func:`ladder_modules` instantiates
+:func:`repro.plan.default_ladder_plan` and substitutes the preferred
+transport into the ``native()`` slot, so ``repro-bench plan show``
+prints exactly the ladder the collective will run.
 """
 
 from __future__ import annotations
@@ -29,17 +38,22 @@ from typing import Callable, Optional
 
 from repro.core.aggregators import Aggregator
 from repro.mpi.modules import ModuleSpec
+from repro.plan import Edge, Fallback, Native, Plan
+from repro.plan import lower as lower_plan
+from repro.plan import lower_edges
 
 #: Canonical resolver: neighbor rank -> module spec for that edge.
 EdgeModules = Callable[[int], ModuleSpec]
 
 
 def _spec_for(module) -> ModuleSpec:
-    """One concrete ModuleSpec from an aggregator/spec/factory/None."""
+    """One concrete ModuleSpec from a plan/aggregator/spec/factory/None."""
     if module is None:
         from repro.mpi.persist_module import PersistSpec
 
         return PersistSpec()
+    if isinstance(module, Plan):
+        return lower_plan(module)
     if isinstance(module, Aggregator):
         from repro.core.module import NativeSpec
 
@@ -66,8 +80,10 @@ def _takes_neighbor(fn) -> bool:
 
 def edge_modules(module_for) -> EdgeModules:
     """Normalize ``module_for`` into a per-neighbor spec resolver."""
+    if isinstance(module_for, Plan) and module_for.find(Edge):
+        return lower_edges(module_for)
     if (callable(module_for) and not isinstance(module_for, Aggregator)
-            and not isinstance(module_for, ModuleSpec)
+            and not isinstance(module_for, (ModuleSpec, Plan))
             and _takes_neighbor(module_for)):
         return lambda neighbor: _spec_for(module_for(neighbor))
     return lambda neighbor: _spec_for(module_for)
@@ -77,15 +93,15 @@ def ladder_modules(module_for=None, rungs=None) -> EdgeModules:
     """Wrap every edge's transport in a graceful-degradation ladder.
 
     ``module_for`` (any shape :func:`edge_modules` accepts) names the
-    preferred rung; the default fallback chain appends the
-    ``part_persist`` baseline and the QP-free ``channels`` transport
-    below it, so a tripped edge degrades native → persist → channels.
-    Pass ``rungs`` (a per-neighbor callable or a list of specs) to
+    preferred rung, substituted into the ``native()`` slot of
+    :func:`repro.plan.default_ladder_plan` — so a tripped edge
+    degrades native → persist → channels, and a rung that would
+    duplicate an earlier one (a persist top) is folded away.  Pass
+    ``rungs`` (a per-neighbor callable or a list of specs/plans) to
     override the full chain instead.
     """
-    from repro.mpi.channel_module import ChannelSpec
     from repro.mpi.ladder import LadderSpec
-    from repro.mpi.persist_module import PersistSpec
+    from repro.plan import default_ladder_plan
 
     if rungs is not None:
         if callable(rungs):
@@ -94,13 +110,18 @@ def ladder_modules(module_for=None, rungs=None) -> EdgeModules:
         specs = [_spec_for(r) for r in rungs]
         return lambda neighbor: LadderSpec(specs)
     resolve = edge_modules(module_for)
+    ladder = default_ladder_plan()
 
     def build(neighbor: int) -> ModuleSpec:
         top = resolve(neighbor)
-        chain = [top]
-        if not isinstance(top, PersistSpec):
-            chain.append(PersistSpec())
-        chain.append(ChannelSpec())
+        chain, names = [], set()
+        for rung in ladder.first(Fallback).rungs:
+            spec = top if rung.first(Native) is not None \
+                else lower_plan(rung)
+            if spec.name in names:
+                continue
+            names.add(spec.name)
+            chain.append(spec)
         return LadderSpec(chain)
 
     return build

@@ -50,6 +50,7 @@ from repro.exp.registry import (
     get_experiment,
     register,
 )
+from repro.exp.plans import diff_plans, experiment_plans, render_plans
 from repro.exp.runner import Runner, RunStats
 from repro.exp.spec import Scenario, canonical, dedup, grid
 from repro.exp.store import (
@@ -67,9 +68,10 @@ __all__ = [
     "Runner",
     "RunStats", "Scenario", "all_experiments", "canonical",
     "code_fingerprint", "compare_results", "dedup", "default_jobs",
-    "experiment_names", "get_experiment", "get_profile", "grid",
-    "load_result", "register", "run_experiment", "run_spec",
-    "script_main",
+    "diff_plans", "experiment_names", "experiment_plans",
+    "get_experiment", "get_profile", "grid",
+    "load_result", "register", "render_plans", "run_experiment",
+    "run_spec", "script_main",
 ]
 
 #: Default location of the sweep-point cache (under ``results/`` so a

@@ -777,12 +777,14 @@ def ext_autotune_spec(n_user=AUTOTUNE_N_USER, size=AUTOTUNE_SIZE,
                       ptp_iter: Optional[Mapping] = None) -> ExperimentSpec:
     """Closed-loop tuning vs. the paper's open-loop optima.
 
-    Two comparisons: (a) fig08's scenario — a bandit exploring
+    Three comparisons: (a) fig08's scenario — a bandit exploring
     ``(n_transport, n_qps, δ)`` arms against the brute-force
-    tuning-table optimum at the same workload; (b) fig11's late-laggard
-    arrival profile — δ retargeting against a mistuned fixed-δ timer.
-    Both series are speedups of the adaptive design (1.0 = parity with
-    the offline optimum).
+    tuning-table optimum at the same workload; (b) the same scenario
+    under the plan-mutation policy, which searches by rewriting the
+    ``repro.plan`` IR instead of sweeping a fixed grid; (c) fig11's
+    late-laggard arrival profile — δ retargeting against a mistuned
+    fixed-δ timer.  All series are speedups of the adaptive design
+    (1.0 = parity with the offline optimum).
     """
     it = dict(ptp_iter or {"iterations": 10, "warmup": 2})
     table_desc = ["tuning_table", {
@@ -792,6 +794,10 @@ def ext_autotune_spec(n_user=AUTOTUNE_N_USER, size=AUTOTUNE_SIZE,
     bandit = _autotune_point(
         {"policy": "bandit", "counts": list(AUTOTUNE_COUNTS),
          "deltas": [None, us(35)], "bandit_seed": 7},
+        n_user, size, bandit_iters, 2)
+    mutation = _autotune_point(
+        {"policy": "plan_mutation", "deltas": [None, us(35)],
+         "bandit_seed": 7},
         n_user, size, bandit_iters, 2)
     fixed = _perceived(
         ["timer", {"delay": ms(4), "delta": AUTOTUNE_BAD_DELTA}],
@@ -805,11 +811,15 @@ def ext_autotune_spec(n_user=AUTOTUNE_N_USER, size=AUTOTUNE_SIZE,
     def collect(res):
         offline_time = res[offline]["mean_time"]
         b = res[bandit]
+        m = res[mutation]
         convergence = offline_time / b["best_plan_time"]
+        mutation_convergence = offline_time / m["best_plan_time"]
         tracker_speedup = (res[tracker]["perceived_bandwidth"]
                            / res[fixed]["perceived_bandwidth"])
         series = {
             "bandit vs offline table": {size: convergence},
+            "plan mutation vs offline table": {
+                size: mutation_convergence},
             "delta tracker vs fixed delta": {
                 laggard_size: tracker_speedup},
         }
@@ -822,6 +832,11 @@ def ext_autotune_spec(n_user=AUTOTUNE_N_USER, size=AUTOTUNE_SIZE,
                 "converged_round": b["converged_round"],
                 "round_times": b["round_times"],
             },
+            "mutation": {
+                "best_plan": m["best_plan"],
+                "best_plan_time": m["best_plan_time"],
+                "converged_round": m["converged_round"],
+            },
             "laggard": {
                 "fixed_bw": res[fixed]["perceived_bandwidth"],
                 "tracker_bw": res[tracker]["perceived_bandwidth"],
@@ -831,11 +846,15 @@ def ext_autotune_spec(n_user=AUTOTUNE_N_USER, size=AUTOTUNE_SIZE,
 
     def report(payload):
         b, lag = payload["bandit"], payload["laggard"]
+        m = payload["mutation"]
         conv = list(
             payload["series"]["bandit vs offline table"].values())[0]
+        mconv = list(
+            payload["series"]["plan mutation vs offline table"].values())[0]
         track = list(
             payload["series"]["delta tracker vs fixed delta"].values())[0]
         plan = b["best_plan"]
+        mplan = m["best_plan"]
         rows = [
             ["bandit best plan",
              f"T={plan['n_transport']} QP={plan['n_qps']} "
@@ -844,14 +863,19 @@ def ext_autotune_spec(n_user=AUTOTUNE_N_USER, size=AUTOTUNE_SIZE,
             ["offline table time", fmt_time(b["offline_time"])],
             ["convergence (offline/bandit)", f"{conv:.3f}x"],
             ["converged at round", str(b["converged_round"])],
+            ["plan-mutation best plan",
+             f"T={mplan['n_transport']} QP={mplan['n_qps']} "
+             f"delta={mplan['delta']}"],
+            ["plan-mutation best time", fmt_time(m["best_plan_time"])],
+            ["convergence (offline/mutation)", f"{mconv:.3f}x"],
             ["fixed-delta bandwidth", fmt_rate(lag["fixed_bw"])],
             ["tracker bandwidth", fmt_rate(lag["tracker_bw"])],
             ["tracker speedup", f"{track:.3f}x"],
         ]
         return format_table(["autotune", "value"], rows)
 
-    return ExperimentSpec([offline, bandit, fixed, tracker], collect,
-                          report, SPEEDUP)
+    return ExperimentSpec([offline, bandit, mutation, fixed, tracker],
+                          collect, report, SPEEDUP)
 
 
 @register("ext_autotune", "Extension: closed-loop autotuning vs. "

@@ -315,3 +315,10 @@ class LadderSpec(ModuleSpec):
 
     def create(self, cluster, send_req, recv_req):
         return LadderModule(cluster, send_req, recv_req, self.rungs)
+
+    def plan(self):
+        """This ladder as one ``fallback`` plan (rungs become legs)."""
+        from repro.plan import Fallback, Plan, spec_to_plan
+
+        return Plan((Fallback(rungs=tuple(
+            spec_to_plan(rung) for rung in self.rungs)),))

@@ -1,0 +1,107 @@
+"""Canonical textual form for plans.
+
+The printed form is the plan's identity: :attr:`Plan.digest` hashes
+exactly this text, so the printer must be deterministic and must be a
+fixed point under ``print → parse → print`` (guarded by
+``tests/test_plan/test_roundtrip.py``).  Rules:
+
+* one op per line, two-space indent per nesting level;
+* attributes in dataclass field order, ``key=value``, with
+  default-valued attributes omitted;
+* values: ints verbatim, floats via ``repr`` (shortest round-trip
+  form), ``none`` / ``true`` / ``false`` keywords, strings as bare
+  identifiers;
+* a leaf op with no printed attributes still gets ``()`` so every op
+  line is unambiguous (``persist()``);
+* region bodies open ``{`` on the op line; ``fallback`` bodies print
+  as ``rung { ... }`` elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.plan.ir import Plan, PlanOp
+
+#: Identifiers the parser treats as literals, not strings.
+RESERVED = {"none", "true", "false", "plan", "rung"}
+
+
+def format_value(value: object) -> str:
+    """One attribute value in canonical form."""
+    if value is None:
+        return "none"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        if not value.isidentifier() or value in RESERVED:
+            raise ValueError(f"not a printable identifier: {value!r}")
+        return value
+    raise ValueError(f"unprintable plan attribute: {value!r}")
+
+
+def _printed_attrs(op: "PlanOp") -> list[str]:
+    out = []
+    defaults = {f.name: f.default for f in fields(op)}
+    for key, value in op.attrs():
+        default = defaults.get(key, MISSING)
+        # Skip attrs at their default.  The type check keeps bool/int
+        # confusion (False == 0, True == 1) from dropping a
+        # non-default value.
+        if default is not MISSING and default == value \
+                and type(default) is type(value):
+            continue
+        out.append(f"{key}={format_value(value)}")
+    return out
+
+
+def _print_op(op: "PlanOp", indent: int, lines: list[str]) -> None:
+    from repro.plan.ir import Fallback
+
+    pad = "  " * indent
+    attrs = _printed_attrs(op)
+    head = f"{pad}{op.name}({', '.join(attrs)})" if attrs else \
+        f"{pad}{op.name}()"
+    bodies = op.bodies()
+    if not bodies:
+        lines.append(head)
+        return
+    # Region op: drop the "()" when there are no attrs — the block
+    # disambiguates the line (`fallback {`, `edge(neighbor=3) {`).
+    if not attrs:
+        head = f"{pad}{op.name}"
+    lines.append(head + " {")
+    wrap = "rung" if isinstance(op, Fallback) else None
+    for body in bodies:
+        _print_body(body, indent + 1, lines, wrap)
+    lines.append(pad + "}")
+
+
+def _print_body(body: "Plan", indent: int, lines: list[str],
+                wrap: str | None) -> None:
+    pad = "  " * indent
+    if wrap is None:
+        for op in body.ops:
+            _print_op(op, indent, lines)
+        return
+    lines.append(f"{pad}{wrap} {{")
+    for op in body.ops:
+        _print_op(op, indent + 1, lines)
+    lines.append(pad + "}")
+
+
+def print_plan(plan: "Plan") -> str:
+    """The canonical multi-line text of ``plan`` (no trailing newline)."""
+    lines = ["plan {"]
+    for op in plan.ops:
+        _print_op(op, 1, lines)
+    lines.append("}")
+    return "\n".join(lines)

@@ -78,17 +78,43 @@ def test_store_round_trip_second_run_skips_exploration(tmp_path):
 
 
 def test_stale_pinned_plan_is_relearned(tmp_path):
+    from repro.autotune import workload_key
+    from repro.config import NIAGARA
+
     store = TuningStore(tmp_path / "store")
-    # An entry learned for a wider workload: 32 transport partitions
-    # cannot serve 16 user partitions, so the run must re-learn.
-    store.put(
-        {"n_user": N_USER, "message_size": TOTAL, "config": "test"},
-        PlanChoice(32, 2))
     params = {"policy": "bandit", "counts": [1, 4], "config_tag": "test"}
+    # Seed under the exact key the run will use (workload + the
+    # policy's plan-space digest) an entry learned for a wider
+    # workload: 32 transport partitions cannot serve 16 user
+    # partitions, so the run must re-learn.
+    policy = build_autotuner(params).policy_builder(
+        N_USER, TOTAL // N_USER, NIAGARA)
+    key = workload_key(N_USER, TOTAL, "test",
+                       plan_space=policy.plan_space_digest())
+    store.put(key, PlanChoice(32, 2))
     res = run_autotuned_pair(params, n_user=N_USER, total_bytes=TOTAL,
                              iterations=16, warmup=2, store=store)
     assert res.explored
-    assert store.lookup(N_USER, TOTAL, "test").n_transport <= N_USER
+    assert store.get(key).n_transport <= N_USER
+
+
+def test_store_key_distinguishes_plan_spaces(tmp_path):
+    """Equal knob tuples in structurally different search spaces must
+    not collide: the plan-space digest keeps their entries distinct."""
+    store = TuningStore(tmp_path / "store")
+    a = {"policy": "bandit", "counts": [1, 4], "config_tag": "test"}
+    b = {"policy": "bandit", "counts": [1, 4, 16], "config_tag": "test"}
+    run_autotuned_pair(a, n_user=N_USER, total_bytes=TOTAL,
+                       iterations=24, warmup=2, store=store)
+    assert len(store) == 1
+    second = run_autotuned_pair(b, n_user=N_USER, total_bytes=TOTAL,
+                                iterations=24, warmup=2, store=store)
+    # A different candidate grid is a different plan space: the second
+    # run explores instead of replaying the first run's entry.
+    assert second.explored
+    assert len(store) == 2
+    digests = {e["key"]["plan_space"] for e in store.entries()}
+    assert len(digests) == 2
 
 
 def test_invalid_counts_rejected():

@@ -163,50 +163,3 @@ def test_watch_cq_kicks():
     env.run()
     assert p.value == pytest.approx(3e-6, rel=0.5)
     assert len(seen) == 1
-
-
-def test_mpi_progress_shim_warns_and_reexports():
-    """The legacy import path still works but raises DeprecationWarning."""
-    import importlib
-    import sys
-    import warnings
-
-    sys.modules.pop("repro.mpi.progress", None)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        shim = importlib.import_module("repro.mpi.progress")
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-    assert shim.ProgressEngine is ProgressEngine
-
-
-def test_plain_import_statement_warns_in_fresh_interpreter():
-    """A literal ``import repro.mpi.progress`` warns on first import.
-
-    The in-process test above goes through importlib with the module
-    cache cleared; this one guards the path users actually hit — a
-    plain import statement in a fresh interpreter (where default
-    warning filters and import caching differ).
-    """
-    import os
-    import pathlib
-    import subprocess
-    import sys
-
-    import repro
-
-    src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
-    env = dict(os.environ)
-    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    code = (
-        "import warnings\n"
-        "warnings.simplefilter('error', DeprecationWarning)\n"
-        "try:\n"
-        "    import repro.mpi.progress\n"
-        "except DeprecationWarning:\n"
-        "    pass\n"
-        "else:\n"
-        "    raise SystemExit('no DeprecationWarning raised')\n"
-    )
-    proc = subprocess.run([sys.executable, "-c", code], env=env,
-                          capture_output=True, text=True)
-    assert proc.returncode == 0, proc.stderr

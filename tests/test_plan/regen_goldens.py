@@ -1,0 +1,29 @@
+"""Regenerate the checked-in ``repro-bench plan show`` goldens.
+
+Run after a deliberate change to the module → plan → lowering path::
+
+    PYTHONPATH=src python tests/test_plan/regen_goldens.py
+
+and explain the plan-text delta in the commit message.
+"""
+
+import pathlib
+import sys
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+EXPERIMENTS = (("fig08", "fast"), ("ext_stencil", "fast"))
+
+
+def main() -> int:
+    from repro.exp import render_plans
+
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, profile in EXPERIMENTS:
+        path = GOLDEN_DIR / f"plan_{name}_{profile}.txt"
+        path.write_text(render_plans(name, profile))
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""``repro-bench plan show|diff`` and the checked-in plan-text goldens.
+
+The goldens pin the full module → plan → lowering path for two
+representative experiments; regenerate with
+``python tests/test_plan/regen_goldens.py`` after a deliberate change
+and explain the delta in the commit.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+@pytest.mark.parametrize("name", ["fig08", "ext_stencil"])
+def test_plan_show_matches_golden(name, capsys):
+    assert main(["plan", "show", name, "--profile", "fast"]) == 0
+    golden = (GOLDEN_DIR / f"plan_{name}_fast.txt").read_text()
+    assert capsys.readouterr().out == golden
+
+
+def test_plan_show_render_is_parseable_and_digest_consistent():
+    from repro.exp import experiment_plans
+    from repro.plan import parse
+
+    for label, plan in experiment_plans("ext_autotune", "fast"):
+        assert parse(plan.text) == plan
+        assert label
+
+
+def test_plan_diff_same_experiment_is_identical(capsys):
+    assert main(["plan", "diff", "fig08"]) == 0
+    assert "plans identical" in capsys.readouterr().out
+
+
+def test_plan_diff_reports_label_and_plan_changes(capsys):
+    assert main(["plan", "diff", "fig08", "ext_stencil"]) == 1
+    out = capsys.readouterr().out
+    assert "only in fig08[fast]" in out
+    assert "only in ext_stencil[fast]" in out
+
+
+def test_plan_diff_across_profiles(capsys):
+    rc = main(["plan", "diff", "fig08", "--baseline-profile", "paper"])
+    out = capsys.readouterr().out
+    # fast and paper sweep different workloads, so the diff must flag
+    # at least label-level differences (and exit non-zero).
+    assert rc == 1
+    assert "only in" in out or "@ " in out
+
+
+def test_plan_show_unknown_experiment_exits_with_error():
+    with pytest.raises(SystemExit):
+        main(["plan", "show", "nonesuch"])

@@ -1,0 +1,64 @@
+"""Mutation move set: every neighbor is legal, distinct, and in-envelope."""
+
+import pytest
+
+from repro.config import NIAGARA
+from repro.core.aggregators import _qps_for
+from repro.plan import Aggregate, Partition, QPPool, leaf_plan, neighbors, plan
+from repro.plan import Persist
+
+
+@pytest.mark.parametrize("n_transport,n_qps", [(1, 1), (4, 2), (16, 2)])
+def test_neighbors_are_legal_and_deduped(n_transport, n_qps):
+    start = leaf_plan(n_transport, n_qps)
+    out = neighbors(start, n_user=16, config=NIAGARA,
+                    deltas=(None, 3.5e-05))
+    assert out, "a leaf plan always has at least one mutation"
+    digests = [p.digest for p in out]
+    assert len(set(digests)) == len(digests)
+    assert start.digest not in digests
+    for p in out:
+        part = p.first(Partition)
+        assert part.n & (part.n - 1) == 0  # power of two
+        assert 1 <= part.n <= 16
+        pool = p.first(QPPool)
+        qps = pool.n if pool is not None else 1
+        assert 1 <= qps <= min(part.n, _qps_for(16, 16, NIAGARA))
+
+
+def test_partition_moves_halve_and_double():
+    out = neighbors(leaf_plan(4, 2), n_user=16, config=NIAGARA)
+    counts = {p.first(Partition).n for p in out}
+    assert {2, 8} <= counts
+
+
+def test_partition_cannot_exceed_n_user():
+    out = neighbors(leaf_plan(8, 2), n_user=8, config=NIAGARA)
+    assert all(p.first(Partition).n <= 8 for p in out)
+
+
+def test_qp_cap_bounds_every_move():
+    out = neighbors(leaf_plan(8, 1), n_user=16, config=NIAGARA, qp_cap=2)
+    for p in out:
+        pool = p.first(QPPool)
+        assert (pool.n if pool is not None else 1) <= 2
+
+
+def test_delta_toggle_and_rescale():
+    base = leaf_plan(8, 2, delta=4e-05)
+    out = neighbors(base, n_user=16, config=NIAGARA, deltas=(None,))
+    deltas = set()
+    for p in out:
+        agg = p.first(Aggregate)
+        deltas.add(agg.delta if agg is not None else None)
+    assert None in deltas  # toggle off
+    assert 8e-05 in deltas and 2e-05 in deltas  # rescale x2 / /2
+    # Toggling on from a delta-free plan appends the aggregate op.
+    on = neighbors(leaf_plan(8, 2), n_user=16, config=NIAGARA,
+                   deltas=(4e-05,))
+    assert any(p.first(Aggregate) is not None
+               and p.first(Aggregate).delta == 4e-05 for p in on)
+
+
+def test_non_leaf_plan_has_no_neighbors():
+    assert neighbors(plan(Persist()), n_user=16, config=NIAGARA) == []

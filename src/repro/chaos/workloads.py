@@ -202,7 +202,7 @@ def _tree_driver(name, init, world, schedule, seed, module, ladder,
                 for p in range(tid * per_thread, (tid + 1) * per_thread):
                     yield from proc.pcoll_pready(coll, p)
             else:
-                yield proc.env.timeout(0)
+                yield 0.0
 
         for it in range(total):
             yield barrier.wait()

@@ -435,6 +435,9 @@ def cmd_bench_run(args) -> int:
               f"{stats.executed} executed, {run.elapsed:.1f}s)")
         for path in run.paths:
             print(f"wrote {path}")
+        if run.cpu_profile:
+            print(f"wrote {run.cpu_profile} (cProfile; inspect with "
+                  f"python -m pstats)")
         print()
     return 0
 

@@ -374,7 +374,7 @@ class NativeVerbsModule(PartitionedModule):
         waited = 0.0
         while waited < delta:
             step = min(cfg.timer_poll, delta - waited)
-            yield self.env.timeout(step)
+            yield step
             waited += step
             if self._counters[group].value >= self.group_size:
                 return  # last arriver handled the group
@@ -480,8 +480,7 @@ class NativeVerbsModule(PartitionedModule):
         req = self.send_req
         self._inflight_posts += 1
         try:
-            yield self.env.timeout(
-                self.sender.software_cost(self.sender.config.host.t_post))
+            yield self.sender.software_cost(self.sender.config.host.t_post)
             group = start // self.group_size
             rail = self.send_rails[group % len(self.send_rails)]
             qp = yield from rail.acquire(group % self._active_n_qps)
@@ -535,8 +534,8 @@ class NativeVerbsModule(PartitionedModule):
         self._inflight_posts += 1
         try:
             # WR build cost grows with the gather-list length.
-            yield self.env.timeout(self.sender.software_cost(
-                host.t_post + 50e-9 * len(runs)))
+            yield self.sender.software_cost(
+                host.t_post + 50e-9 * len(runs))
             rail = self.send_rails[group % len(self.send_rails)]
             qp = yield from rail.acquire(group % self._active_n_qps)
             if qp.state is not QPState.RTS:
@@ -589,8 +588,7 @@ class NativeVerbsModule(PartitionedModule):
         total = sum(count for _, count in runs) * psize
         # Layout handling per run, plus the staging copy-out — the
         # receive-side costs that made the paper reject this design.
-        yield self.env.timeout(
-            part_cfg.t_rx_wr * len(runs) + total / host.memcpy_rate)
+        yield part_cfg.t_rx_wr * len(runs) + total / host.memcpy_rate
         cursor = staging_offset
         for start, count in runs:
             offset, length = req.buf.range_offset(start, count)
@@ -719,7 +717,7 @@ class NativeVerbsModule(PartitionedModule):
         if (wc.imm_data >> 16) == self._SG_MARKER:
             yield from self._handle_scatter_gather(wc.imm_data)
         else:
-            yield self.env.timeout(part_cfg.t_rx_wr)
+            yield part_cfg.t_rx_wr
             start, count = decode_immediate(wc.imm_data)
             if bool(req.arrived[start : start + count].all()):
                 # Exactly-once safety net: a replayed WR whose

@@ -69,7 +69,7 @@ class CreditManager:
         and flushes whatever deferred behind it."""
 
         def credit(env):
-            yield env.timeout(flight)
+            yield flight
             self.armed_round = max(self.armed_round, round_number)
             if self.deferred:
                 yield from self._flush()

@@ -46,15 +46,22 @@ class ProgressEngine:
         self.t_poll_miss = t_poll_miss
         self.idle_fallback = idle_fallback
         self.lock = SimLock(env)
-        self._pollers: list[Poller] = []
+        self._pollers: list[tuple[Poller, "Callable | None"]] = []
         self._notify = Notify(env)
         # statistics
         self.passes = 0
         self.events_handled = 0
 
-    def register(self, poller: Poller) -> None:
-        """Add a transport poller (a generator function returning a count)."""
-        self._pollers.append(poller)
+    def register(self, poller: Poller, quick: "Callable | None" = None) -> None:
+        """Add a transport poller (a generator function returning a count).
+
+        ``quick``, if given, is a plain callable tried first on every
+        pass: it returns an int to settle the pass without instantiating
+        the generator (the no-pending-work fast path, including any idle
+        side effects), or ``None`` to fall through to ``poller()``.  It
+        must be event-free — a pass settled by ``quick`` yields nothing.
+        """
+        self._pollers.append((poller, quick))
 
     def kick(self) -> None:
         """Wake any process parked in :meth:`wait_until` (CQ push hook)."""
@@ -74,14 +81,19 @@ class ProgressEngine:
         livelock the simulation.
         """
         if not self.lock.try_acquire():
-            yield self.env.timeout(self.t_poll_miss)
+            yield self.t_poll_miss
             return 0
         try:
             handled = 0
-            for poller in list(self._pollers):
+            for poller, quick in self._pollers:
+                if quick is not None:
+                    settled = quick()
+                    if settled is not None:
+                        handled += settled
+                        continue
                 handled += yield from poller()
             if handled == 0:
-                yield self.env.timeout(self.t_poll_miss)
+                yield self.t_poll_miss
             self.passes += 1
             self.events_handled += handled
             return handled
@@ -99,27 +111,54 @@ class ProgressEngine:
         forever — the chaos layer's bound on a hung edge.  ``describe``
         names the waited-on work in that error.
         """
+        env = self.env
+        lock = self.lock
+        notify = self._notify
+        pollers = self._pollers
+        t_poll_miss = self.t_poll_miss
         while not predicate():
-            if deadline is not None and self.env.now >= deadline:
+            if deadline is not None and env._now >= deadline:
                 from repro.errors import EpochDeadlineError
 
                 raise EpochDeadlineError(
                     f"epoch overran its deadline waiting for {describe or 'completion'}")
-            handled = yield from self.progress_once()
+            # One progress pass, inlined from :meth:`progress_once` (this
+            # loop is the single hottest generator in the engine; the
+            # nested-generator hop per iteration is measurable).  The
+            # yielded event sequence must stay identical to the method's.
+            if not lock.try_acquire():
+                yield t_poll_miss
+                handled = 0
+            else:
+                try:
+                    handled = 0
+                    for poller, quick in pollers:
+                        if quick is not None:
+                            settled = quick()
+                            if settled is not None:
+                                handled += settled
+                                continue
+                        handled += yield from poller()
+                    if handled == 0:
+                        yield t_poll_miss
+                    self.passes += 1
+                    self.events_handled += handled
+                finally:
+                    lock.release()
             if predicate():
                 break
             if handled == 0:
-                if self._notify.pending:
+                if notify.pending:
                     # A completion landed since the last park — it may
                     # not have been polled yet (e.g. it arrived during
                     # this very pass).  Consume the trigger and re-poll
                     # rather than parking past real work.
-                    self._notify.consume()
+                    notify.consume()
                     continue
                 park = self.idle_fallback
                 if deadline is not None:
-                    park = min(park, max(deadline - self.env.now, 0.0))
-                yield self._notify.wait(park)
+                    park = min(park, max(deadline - env._now, 0.0))
+                yield notify.wait(park)
 
     def __repr__(self) -> str:
         return (f"<ProgressEngine pollers={len(self._pollers)} "

@@ -144,7 +144,7 @@ class ReplayTracker:
     def _recover(self):
         counters = self.fabric.counters
         while True:
-            yield self.env.timeout(self.reconnect_delay)
+            yield self.reconnect_delay
             fixed = self._recover_walk()
             self._restock()
             for wr_id in [w for w, (tok, _) in self._inflight.items()

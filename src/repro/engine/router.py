@@ -62,6 +62,22 @@ class CompletionRouter:
         t_poll_hit = self.host.t_poll_hit
         env = self.env
         batch = self.batch
+        # Duck-typed CQs (test doubles) without an entries deque just
+        # skip the fast path and always run the full poller.
+        entries = getattr(cq, "_entries", None)
+
+        if entries is None:
+            quick = None
+        else:
+            def quick():
+                # Nothing to poll: settle the pass without instantiating
+                # the poller generator.  Mirrors the generator's
+                # empty-CQ run (no yields, idle hook still fires).
+                if entries:
+                    return None
+                if on_idle is not None:
+                    on_idle()
+                return 0
 
         def poller():
             handled = 0
@@ -70,7 +86,7 @@ class CompletionRouter:
                 if not wcs:
                     break
                 for wc in wcs:
-                    yield env.timeout(t_poll_hit)
+                    yield t_poll_hit
                     yield from on_wc(wc)
                     handled += 1
             self.completions_routed += handled
@@ -78,7 +94,7 @@ class CompletionRouter:
                 on_idle()
             return handled
 
-        self.engine.register(poller)
+        self.engine.register(poller, quick)
         self.engine.watch_cq(cq)
         self.bindings += 1
 

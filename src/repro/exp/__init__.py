@@ -108,6 +108,8 @@ class ExperimentRun:
     elapsed: float
     fingerprint: str
     paths: list = field(default_factory=list)
+    #: Path of the cProfile dump, when the run was profiled.
+    cpu_profile: Optional[str] = None
 
     @property
     def report(self) -> str:
@@ -167,6 +169,12 @@ def add_run_options(parser: argparse.ArgumentParser,
                              "(default: repo top level)")
     parser.add_argument("--no-store", action="store_true",
                         help="print the table only, write no artifacts")
+    parser.add_argument("--profile-cpu", metavar="PATH", nargs="?",
+                        const="", default=None,
+                        help="run under cProfile and write a pstats dump "
+                             "to PATH (default: profile_<name>.pstats); "
+                             "in-process points only, so pair with the "
+                             "default --jobs 1")
 
 
 def run_from_options(name: str, options: argparse.Namespace,
@@ -176,9 +184,28 @@ def run_from_options(name: str, options: argparse.Namespace,
     cache = None if options.no_cache else ResultCache(options.cache_dir)
     store = None if options.no_store else ResultStore(
         results_dir=options.results_dir, bench_dir=options.bench_dir)
-    return run_experiment(name, profile=options.profile,
-                          jobs=options.jobs, cache=cache, store=store,
-                          progress=progress)
+    profile_cpu = getattr(options, "profile_cpu", None)
+    if profile_cpu is None:
+        return run_experiment(name, profile=options.profile,
+                              jobs=options.jobs, cache=cache, store=store,
+                              progress=progress)
+    # CPU profiling: wrap the whole run (build, simulate, collect) in
+    # cProfile.  Worker subprocesses are invisible to the profiler, so
+    # profiled runs should stay at the default --jobs 1.
+    import cProfile
+
+    path = profile_cpu or f"profile_{name}.pstats"
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run = run_experiment(name, profile=options.profile,
+                             jobs=options.jobs, cache=cache, store=store,
+                             progress=progress)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+    run.cpu_profile = path
+    return run
 
 
 def script_main(name: str, doc: Optional[str] = None,

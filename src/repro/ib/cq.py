@@ -16,6 +16,9 @@ class CompletionQueue:
     :class:`repro.config.HostConfig`).
     """
 
+    __slots__ = ("context", "capacity", "handle", "_entries", "on_push",
+                 "total_completions", "overflows")
+
     _next_handle = 1
 
     def __init__(self, context, capacity: int = 4096):
@@ -53,9 +56,13 @@ class CompletionQueue:
         """Host-side: pop up to ``max_entries`` completions (``ibv_poll_cq``)."""
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        entries = self._entries
+        if not entries:
+            return []
         out = []
-        while self._entries and len(out) < max_entries:
-            out.append(self._entries.popleft())
+        popleft = entries.popleft
+        while entries and len(out) < max_entries:
+            out.append(popleft())
         return out
 
     def peek(self) -> Optional[WorkCompletion]:

@@ -50,8 +50,67 @@ def injection_spacing(nbytes: int, cfg: NICConfig) -> float:
     return nbytes / cfg.qp_rate + npackets * cfg.t_pkt
 
 
+class WireTimeTable:
+    """Slotted wire timings for one :class:`NICConfig`.
+
+    A transmission of any size decomposes into at most two distinct
+    chunk sizes (``wire_chunk`` plus one remainder), so per-chunk
+    serialization arithmetic collapses onto a handful of slots computed
+    once per config.  Lookups return the *same float* the formulas in
+    this module produce — the table is a cache, never an approximation,
+    which is what keeps simulated timings bit-identical.
+
+    Obtain instances through :func:`wire_table`; configs are frozen
+    dataclasses, so one table per distinct config is shared by every
+    NIC built from it.
+    """
+
+    __slots__ = ("cfg", "_occupancy", "_spacing", "_chunks")
+
+    def __init__(self, cfg: NICConfig):
+        self.cfg = cfg
+        self._occupancy: dict[int, float] = {}
+        self._spacing: dict[int, float] = {}
+        self._chunks: dict[int, tuple[int, ...]] = {}
+
+    def occupancy(self, nbytes: int) -> float:
+        """Memoized :func:`chunk_occupancy` for this config."""
+        value = self._occupancy.get(nbytes)
+        if value is None:
+            value = self._occupancy[nbytes] = chunk_occupancy(nbytes, self.cfg)
+        return value
+
+    def spacing(self, nbytes: int) -> float:
+        """Memoized :func:`injection_spacing` for this config."""
+        value = self._spacing.get(nbytes)
+        if value is None:
+            value = self._spacing[nbytes] = injection_spacing(nbytes, self.cfg)
+        return value
+
+    def chunks(self, nbytes: int) -> tuple[int, ...]:
+        """Memoized chunk decomposition (see :func:`iter_chunks`)."""
+        seq = self._chunks.get(nbytes)
+        if seq is None:
+            seq = self._chunks[nbytes] = tuple(
+                iter_chunks(nbytes, self.cfg.wire_chunk))
+        return seq
+
+
+_WIRE_TABLES: dict[NICConfig, WireTimeTable] = {}
+
+
+def wire_table(cfg: NICConfig) -> WireTimeTable:
+    """The shared :class:`WireTimeTable` for ``cfg`` (one per config)."""
+    table = _WIRE_TABLES.get(cfg)
+    if table is None:
+        table = _WIRE_TABLES[cfg] = WireTimeTable(cfg)
+    return table
+
+
 class IngressPort:
     """Analytic receive-side serializer: a busy-until clock per NIC."""
+
+    __slots__ = ("busy_until", "bytes_received")
 
     def __init__(self):
         self.busy_until = 0.0

@@ -17,7 +17,13 @@ import numpy as np
 from repro.config import ClusterConfig
 from repro.errors import ProtectionError
 from repro.ib.constants import Opcode, QPState, WCOpcode, WCStatus
-from repro.ib.link import IngressPort, chunk_occupancy, injection_spacing, iter_chunks
+from repro.ib.link import (
+    IngressPort,
+    chunk_occupancy,
+    injection_spacing,
+    iter_chunks,
+    wire_table,
+)
 from repro.ib.qp import QueuePair
 from repro.ib.wr import SendWR, WorkCompletion
 from repro.sim.core import Environment
@@ -44,6 +50,8 @@ class NIC:
         #: port 0 so single-port code (and its event ordering) is
         #: untouched.
         n_ports = config.nic.n_ports
+        #: Slotted per-config wire timings (shared across same-config NICs).
+        self.wires = wire_table(config.nic)
         self.ports = [Resource(env, capacity=1) for _ in range(n_ports)]
         self.ingress_ports = [IngressPort() for _ in range(n_ports)]
         self.egress = self.ports[0]
@@ -104,7 +112,7 @@ class NIC:
                 self._flush_wr(qp, wr)
                 continue
             # WQE fetch + DMA programming.
-            yield self.env.timeout(cfg.t_wqe)
+            yield cfg.t_wqe
             self.wqes_processed += 1
             # Reads source their data at the responder; the local list
             # is a scatter sink, so there is nothing to gather here.
@@ -141,27 +149,30 @@ class NIC:
 
     def _transmit_wire(self, qp: QueuePair, wr: SendWR, payload, nbytes: int,
                        remote: "NIC"):
-        cfg = self.config.nic
+        env = self.env
+        wires = self.wires
+        trace = self.trace
         latency = self.fabric.latency(self.node_id, remote.node_id)
         egress = self.egress_for(qp)
         ingress = remote.ingress_for(qp)
-        arrival = self.env.now
-        for chunk in iter_chunks(nbytes, cfg.wire_chunk):
+        arrival = env.now
+        for chunk in wires.chunks(nbytes):
             # Per-QP injection rate limit: spaces chunk starts so a lone
             # QP tops out at qp_rate; gaps are usable by other QPs.
-            if self.env.now < qp.next_inject_time:
-                yield self.env.timeout(qp.next_inject_time - self.env.now)
+            if env._now < qp.next_inject_time:
+                yield qp.next_inject_time - env._now
             grant = egress.request()
             yield grant
-            start = self.env.now
-            occupancy = chunk_occupancy(chunk, cfg)
-            yield self.env.timeout(occupancy)
+            start = env._now
+            occupancy = wires.occupancy(chunk)
+            yield occupancy
             egress.release(grant)
-            qp.next_inject_time = start + injection_spacing(chunk, cfg)
+            qp.next_inject_time = start + wires.spacing(chunk)
             self.bytes_transmitted += chunk
-            self.trace.record(start, "ib.chunk", self.node_id,
-                              qp=qp.qp_num, nbytes=chunk,
-                              occupancy=occupancy)
+            if trace.enabled:
+                trace.record(start, "ib.chunk", self.node_id,
+                             qp=qp.qp_num, nbytes=chunk,
+                             occupancy=occupancy)
             arrival = ingress.admit(start, occupancy, latency, chunk)
         self._schedule_delivery(qp, wr, payload, nbytes, remote,
                                 arrival, ack_latency=latency)
@@ -171,7 +182,7 @@ class NIC:
         host = self.config.host
         link = self.config.link
         copy_time = nbytes / host.memcpy_rate
-        yield self.env.timeout(copy_time)
+        yield copy_time
         arrival = self.env.now + link.loopback_latency
         self.bytes_transmitted += nbytes
         self._schedule_delivery(qp, wr, payload, nbytes, remote, arrival,
@@ -188,7 +199,7 @@ class NIC:
             self.fabric.counters.inc("fault.nic_stalls")
             self.trace.record(self.env.now, "fault.nic_stall", self.node_id,
                               qp=qp.qp_num, until=until)
-            yield self.env.timeout(until - self.env.now)
+            yield until - self.env.now
         if qp.state is QPState.ERROR:
             self._flush_wr(qp, wr)
         elif wr.opcode is Opcode.RDMA_READ:
@@ -237,16 +248,17 @@ class NIC:
             latency = self.fabric.latency(self.node_id, remote.node_id)
             arrival = env.now
             lost = False
-            for chunk in iter_chunks(nbytes, cfg.wire_chunk):
+            wires = self.wires
+            for chunk in wires.chunks(nbytes):
                 if env.now < qp.next_inject_time:
-                    yield env.timeout(qp.next_inject_time - env.now)
+                    yield qp.next_inject_time - env.now
                 grant = egress.request()
                 yield grant
                 start = env.now
-                occupancy = chunk_occupancy(chunk, cfg)
-                yield env.timeout(occupancy)
+                occupancy = wires.occupancy(chunk)
+                yield occupancy
                 egress.release(grant)
-                qp.next_inject_time = start + injection_spacing(chunk, cfg)
+                qp.next_inject_time = start + wires.spacing(chunk)
                 self.bytes_transmitted += chunk
                 self.trace.record(start, "ib.chunk", self.node_id,
                                   qp=qp.qp_num, nbytes=chunk,
@@ -283,14 +295,14 @@ class NIC:
                             return
                         rnr_budget -= 1
                     nak_back = max(0.0, arrival + latency - env.now)
-                    yield env.timeout(nak_back + cfg.rnr_timer)
+                    yield nak_back + cfg.rnr_timer
                     continue
             if lost:
                 if retry_budget == 0:
                     self._complete_error(qp, wr, WCStatus.RETRY_EXC_ERR)
                     return
                 retry_budget -= 1
-                yield env.timeout(qp.ack_timeout)
+                yield qp.ack_timeout
                 continue
             self._schedule_delivery(qp, wr, payload, nbytes, remote,
                                     arrival, ack_latency=latency)
@@ -325,7 +337,7 @@ class NIC:
             egress = self.egress_for(qp)
             grant = egress.request()
             yield grant
-            yield env.timeout(cfg.t_pkt)
+            yield cfg.t_pkt
             egress.release(grant)
             if faults.chunk_outcome(self.node_id, remote.node_id,
                                     env.now) is not CHUNK_OK:
@@ -333,7 +345,7 @@ class NIC:
             else:
                 extra = faults.latency_extra(self.node_id, remote.node_id,
                                              env.now)
-                yield env.timeout(latency + extra + cfg.t_wqe)
+                yield latency + extra + cfg.t_wqe
                 responder_qp = remote.qps.get(qp.dest_qp_num)
                 if (responder_qp is None or responder_qp.state
                         not in (QPState.RTR, QPState.RTS)):
@@ -342,18 +354,18 @@ class NIC:
                     arrival = env.now
                     resp_egress = remote.egress_for(responder_qp)
                     ingress = self.ingress_for(qp)
-                    for chunk in iter_chunks(nbytes, cfg.wire_chunk):
+                    wires = self.wires
+                    for chunk in wires.chunks(nbytes):
                         if env.now < responder_qp.next_inject_time:
-                            yield env.timeout(
-                                responder_qp.next_inject_time - env.now)
+                            yield responder_qp.next_inject_time - env.now
                         grant = resp_egress.request()
                         yield grant
                         start = env.now
-                        occupancy = chunk_occupancy(chunk, cfg)
-                        yield env.timeout(occupancy)
+                        occupancy = wires.occupancy(chunk)
+                        yield occupancy
                         resp_egress.release(grant)
                         responder_qp.next_inject_time = (
-                            start + injection_spacing(chunk, cfg))
+                            start + wires.spacing(chunk))
                         remote.bytes_transmitted += chunk
                         if faults.chunk_outcome(remote.node_id, self.node_id,
                                                 start) is not CHUNK_OK:
@@ -364,13 +376,13 @@ class NIC:
                         arrival = ingress.admit(start, occupancy,
                                                 latency + extra, chunk)
                     if not lost and arrival > env.now:
-                        yield env.timeout(arrival - env.now)
+                        yield arrival - env.now
             if lost:
                 if retry_budget == 0:
                     self._complete_error(qp, wr, WCStatus.RETRY_EXC_ERR)
                     return
                 retry_budget -= 1
-                yield env.timeout(qp.ack_timeout)
+                yield qp.ack_timeout
                 continue
             # Response complete: source the bytes and scatter locally,
             # exactly as the fault-free read does.
@@ -392,7 +404,7 @@ class NIC:
                 cursor += sge.length
             qp.release_rdma_slot()
             if wr.signaled:
-                yield env.timeout(cfg.t_cqe)
+                yield cfg.t_cqe
                 qp.send_cq.push(WorkCompletion(
                     wr_id=wr.wr_id,
                     status=WCStatus.SUCCESS,
@@ -454,8 +466,8 @@ class NIC:
         env = self.env
         if remote is self:
             # Loopback read: a host-memory copy.
-            yield env.timeout(nbytes / self.config.host.memcpy_rate
-                              + self.config.link.loopback_latency)
+            yield (nbytes / self.config.host.memcpy_rate
+                   + self.config.link.loopback_latency)
             arrival = env.now
         else:
             latency = self.fabric.latency(self.node_id, remote.node_id)
@@ -463,10 +475,10 @@ class NIC:
             egress = self.egress_for(qp)
             grant = egress.request()
             yield grant
-            yield env.timeout(cfg.t_pkt)
+            yield cfg.t_pkt
             egress.release(grant)
             # Flight plus responder WQE handling.
-            yield env.timeout(latency + cfg.t_wqe)
+            yield latency + cfg.t_wqe
             responder_qp = remote.qps.get(qp.dest_qp_num)
             if responder_qp is None:
                 raise ProtectionError(
@@ -474,22 +486,22 @@ class NIC:
             arrival = env.now
             resp_egress = remote.egress_for(responder_qp)
             ingress = self.ingress_for(qp)
-            for chunk in iter_chunks(nbytes, cfg.wire_chunk):
-                if env.now < responder_qp.next_inject_time:
-                    yield env.timeout(
-                        responder_qp.next_inject_time - env.now)
+            wires = self.wires
+            for chunk in wires.chunks(nbytes):
+                if env._now < responder_qp.next_inject_time:
+                    yield responder_qp.next_inject_time - env._now
                 grant = resp_egress.request()
                 yield grant
-                start = env.now
-                occupancy = chunk_occupancy(chunk, cfg)
-                yield env.timeout(occupancy)
+                start = env._now
+                occupancy = wires.occupancy(chunk)
+                yield occupancy
                 resp_egress.release(grant)
                 responder_qp.next_inject_time = (
-                    start + injection_spacing(chunk, cfg))
+                    start + wires.spacing(chunk))
                 remote.bytes_transmitted += chunk
                 arrival = ingress.admit(start, occupancy, latency, chunk)
-            if arrival > env.now:
-                yield env.timeout(arrival - env.now)
+            if arrival > env._now:
+                yield arrival - env._now
         # Source the bytes from the responder's memory and scatter them
         # into the local sink list.
         payload = None
@@ -509,7 +521,7 @@ class NIC:
             cursor += sge.length
         qp.release_rdma_slot()
         if wr.signaled:
-            yield env.timeout(cfg.t_cqe)
+            yield cfg.t_cqe
             qp.send_cq.push(WorkCompletion(
                 wr_id=wr.wr_id,
                 status=WCStatus.SUCCESS,
@@ -541,10 +553,14 @@ class NIC:
     def _schedule_delivery(self, qp: QueuePair, wr: SendWR, payload,
                            nbytes: int, remote: "NIC", arrival: float,
                            ack_latency: float) -> None:
+        # A chain of timer callbacks, not a spawned process: deliveries
+        # are fire-and-forget straight-line waits, so the generator
+        # trampoline (bootstrap event, per-stage resume, completion
+        # event) is pure overhead.  Each stage fires at the same virtual
+        # time the process version reached it.
         env = self.env
 
-        def delivery_proc(env):
-            yield env.timeout(max(0.0, arrival - env.now))
+        def on_arrival(_event):
             if self.fabric.faults is not None:
                 # A QP that died while the message was in flight never
                 # sees an ACK: drop it here and let channel recovery
@@ -558,23 +574,27 @@ class NIC:
             remote._deliver(qp, wr, payload, nbytes)
             # ACK returns to the sender; outstanding slot frees and the
             # sender-side completion (if signaled) is generated.
-            yield env.timeout(ack_latency)
+            env.timeout(ack_latency).callbacks.append(on_ack)
+
+        def on_ack(_event):
             if wr.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM):
                 qp.release_rdma_slot()
             if wr.signaled:
-                yield env.timeout(self.config.nic.t_cqe)
-                qp.send_cq.push(WorkCompletion(
-                    wr_id=wr.wr_id,
-                    status=WCStatus.SUCCESS,
-                    opcode=WCOpcode.RDMA_WRITE if wr.opcode in
-                    (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM)
-                    else WCOpcode.SEND,
-                    qp_num=qp.qp_num,
-                    byte_len=nbytes,
-                    completed_at=env.now,
-                ))
+                env.timeout(self.config.nic.t_cqe).callbacks.append(on_cqe)
 
-        env.process(delivery_proc(env))
+        def on_cqe(_event):
+            qp.send_cq.push(WorkCompletion(
+                wr_id=wr.wr_id,
+                status=WCStatus.SUCCESS,
+                opcode=WCOpcode.RDMA_WRITE if wr.opcode in
+                (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM)
+                else WCOpcode.SEND,
+                qp_num=qp.qp_num,
+                byte_len=nbytes,
+                completed_at=env.now,
+            ))
+
+        env.timeout(max(0.0, arrival - env.now)).callbacks.append(on_arrival)
 
     def _deliver(self, src_qp: QueuePair, wr: SendWR, payload, nbytes: int) -> None:
         """Inbound message: place data, consume RQ entry, raise CQE."""
@@ -604,8 +624,7 @@ class NIC:
             env = self.env
             cfg = self.config.nic
 
-            def cqe_proc(env):
-                yield env.timeout(cfg.t_cqe)
+            def on_cqe(_event):
                 dest_qp.recv_cq.push(WorkCompletion(
                     wr_id=recv_wr.wr_id,
                     status=WCStatus.SUCCESS,
@@ -618,7 +637,9 @@ class NIC:
                     completed_at=env.now,
                 ))
 
-            env.process(cqe_proc(env))
+            # Plain timer callback: the CQE raise is a single fixed wait,
+            # no process machinery needed.
+            env.timeout(cfg.t_cqe).callbacks.append(on_cqe)
 
     def _scatter_into_recv(self, dest_qp: QueuePair, recv_wr, payload,
                            nbytes: int) -> None:

@@ -104,7 +104,7 @@ def _drain_cost(cluster: Cluster, a, b, nbytes: int, count: int) -> float:
                 for i in range(count)]
         # Sleep long enough for every message to be on (or through) the
         # wire, so draining measures pure receiver-side processing.
-        yield proc.env.timeout(0.2)
+        yield 0.2
         t0 = proc.env.now
         yield from proc.wait_all(reqs)
         measured.append((proc.env.now - t0) / count)

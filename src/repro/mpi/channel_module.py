@@ -71,7 +71,7 @@ class ChannelModule(PartitionedModule):
     def _drain_deferred(self):
         while self._credit.deferred:
             self._submit(self._credit.deferred.pop(0))
-            yield self.env.timeout(0)
+            yield 0.0
 
     # -- sender path ------------------------------------------------------
 
@@ -81,8 +81,8 @@ class ChannelModule(PartitionedModule):
         proto = ucx.protocol_for(req.partition_size)
         yield self.worker_lock.acquire()
         try:
-            yield self.env.timeout(sender.software_cost(
-                proto.t_send + sender.config.host.t_atomic))
+            yield sender.software_cost(
+                proto.t_send + sender.config.host.t_atomic)
             self._readied += 1
             if not self._credit.ready(req.round):
                 self._credit.defer(partition)
@@ -124,7 +124,7 @@ class ChannelModule(PartitionedModule):
         ucx = process.config.ucx
         _module, partition = header.ref
         proto = ucx.protocol_for(header.nbytes)
-        yield self.env.timeout(proto.t_recv)
+        yield proto.t_recv
         self.recv_req.mark_arrived(partition, 1)
         if self.recv_req.all_arrived:
             self.recv_req.mark_complete()

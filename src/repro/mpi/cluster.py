@@ -125,7 +125,7 @@ class Cluster:
 
         def setup_proc(env):
             # Asynchronous QP exchange / NIC bring-up (Section IV-A).
-            yield env.timeout(SETUP_DELAY)
+            yield SETUP_DELAY
             module.setup(send_req, recv_req)
             send_req.state = PartitionedState.INACTIVE
             recv_req.state = PartitionedState.INACTIVE

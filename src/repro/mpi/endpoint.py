@@ -191,9 +191,9 @@ class Channel:
         while True:
             item: _PumpItem = yield self._pump_queue.get()
             if item.cpu_cost > 0:
-                yield env.timeout(item.cpu_cost)
+                yield item.cpu_cost
             if env.now < next_send:
-                yield env.timeout(next_send - env.now)
+                yield next_send - env.now
             header = item.header
             # Bulk payloads stripe across data lanes; eager traffic
             # stays ordered on lane 0; header-only control messages get

@@ -242,7 +242,7 @@ class LadderModule(PartitionedModule):
         delay = self.cluster.config.part.reconnect_delay
         while (self._takeover_gen == gen
                and (tracker._inflight or tracker.recovering)):
-            yield self.env.timeout(delay)
+            yield delay
             if tracker.recovering:
                 continue
             dead = [wr_id for wr_id, (tok, _) in tracker._inflight.items()
@@ -292,7 +292,7 @@ class LadderModule(PartitionedModule):
         ucx = process.config.ucx
         partition = payload
         proto = ucx.protocol_for(header.nbytes)
-        yield self.env.timeout(proto.t_recv)
+        yield proto.t_recv
         req = self.recv_req
         if bool(req.arrived[partition]):
             self.cluster.fabric.counters.inc("chaos.rescue_duplicates")

@@ -119,7 +119,7 @@ class PersistModule(PartitionedModule):
         """Dispatch everything parked behind the round credit."""
         while self._credit.deferred:
             self._dispatch(self._credit.deferred.pop(0))
-            yield self.env.timeout(0)
+            yield 0.0
 
     # -- sender path ------------------------------------------------------------
 
@@ -137,7 +137,7 @@ class PersistModule(PartitionedModule):
             cost = proto.t_send + sender.config.host.t_atomic
             if proto.copies:
                 cost += size / sender.config.host.memcpy_rate
-            yield self.env.timeout(sender.software_cost(cost))
+            yield sender.software_cost(cost)
             self._readied += 1
             if not self._credit.ready(req.round):
                 # Receiver has not re-armed this round yet: park the
@@ -225,7 +225,7 @@ class PersistModule(PartitionedModule):
         self.cluster.fabric.counters.inc("mpi.read_replays")
         if self.ladder is not None:
             self.ladder.note_failure("read_replay", module=self)
-        yield self.env.timeout(self.cluster.config.part.reconnect_delay)
+        yield self.cluster.config.part.reconnect_delay
         reconnect_walk(
             (requester, requester,
              self.sender.ib.nic.qps.get(requester.dest_qp_num))
@@ -240,7 +240,7 @@ class PersistModule(PartitionedModule):
         teardown + ATS build) that the old write-based path charged on
         data arrival.
         """
-        yield self.env.timeout(self.receiver.config.ucx.rx_rndv)
+        yield self.receiver.config.ucx.rx_rndv
         self.recv_req.mark_arrived(partition, 1)
         if self.recv_req.all_arrived:
             self.recv_req.mark_complete()
@@ -269,17 +269,17 @@ class PersistModule(PartitionedModule):
         _module, partition = header.ref
         if header.kind is MsgKind.PART_DATA:
             proto = ucx.protocol_for(header.nbytes)
-            yield env.timeout(proto.t_recv)
+            yield proto.t_recv
             self.recv_req.mark_arrived(partition, 1)
             if self.recv_req.all_arrived:
                 self.recv_req.mark_complete()
         elif header.kind is MsgKind.PART_RTS:
             # Receiver side: issue the rendezvous get (RDMA READ).
-            yield env.timeout(ucx.rx_rndv)
+            yield ucx.rx_rndv
             yield from self._issue_read(partition)
         elif header.kind is MsgKind.PART_ATS:
             # Sender side: the receiver finished reading this partition.
-            yield env.timeout(ucx.rx_inline)
+            yield ucx.rx_inline
             self._on_partition_acked()
 
 

@@ -267,7 +267,7 @@ class MPIProcess:
         kind = header.kind
         if kind is MsgKind.EAGER:
             proto = ucx.protocol_for(header.nbytes)
-            yield env.timeout(proto.t_recv)
+            yield proto.t_recv
             req = self._match_posted(header)
             if req is None:
                 payload = ring_payload(header.ref, header)
@@ -278,19 +278,19 @@ class MPIProcess:
                 raise MatchingError(
                     f"message of {header.nbytes}B truncated to {req.nbytes}B")
             if proto.copies and header.nbytes > 0:
-                yield env.timeout(header.nbytes / self.config.host.memcpy_rate)
+                yield header.nbytes / self.config.host.memcpy_rate
             payload = ring_payload(header.ref, header)
             req.buf.write(getattr(req, "recv_offset", 0), payload)
             req.mark_complete()
         elif kind is MsgKind.RNDV_RTS:
-            yield env.timeout(ucx.rx_rndv)
+            yield ucx.rx_rndv
             req = self._match_posted(header)
             if req is None:
                 self._unexpected_rts.append(header)
                 return
             self._reply_cts(header, req)
         elif kind is MsgKind.RNDV_CTS:
-            yield env.timeout(ucx.rx_rndv)
+            yield ucx.rx_rndv
             send_req_id, recv_req, addr, rkey = header.ref
             entry = self._pending_rndv_sends.pop(send_req_id, None)
             if entry is None:
@@ -305,7 +305,7 @@ class MPIProcess:
                 cpu_cost=self.config.ucx.t_rndv, gap=ucx.gap_rndv,
                 on_sent=lambda wc: send_req.mark_complete()))
         elif kind is MsgKind.RNDV_DATA:
-            yield env.timeout(ucx.rx_rndv)
+            yield ucx.rx_rndv
             header.ref.mark_complete()
         elif kind in (MsgKind.PART_DATA, MsgKind.PART_RTS, MsgKind.PART_ATS):
             module, payload = header.ref

@@ -89,7 +89,7 @@ class WorkerTeam:
         def worker(tid: int, extra: float):
             total = phase.compute + extra
             if total > 0:
-                yield env.timeout(total)
+                yield total
             result = body(tid)
             if result is not None:
                 yield from result

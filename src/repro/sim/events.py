@@ -15,6 +15,8 @@ class Condition(Event):
     condition fails with that exception.
     """
 
+    __slots__ = ("_evaluate", "_events", "_fired")
+
     def __init__(
         self,
         env: Environment,
@@ -50,17 +52,29 @@ class Condition(Event):
             self.succeed(dict(self._fired))
 
 
+def _all_fired(evs: Sequence[Event], n: int) -> bool:
+    return n == len(evs)
+
+
+def _any_fired(evs: Sequence[Event], n: int) -> bool:
+    return n >= 1
+
+
 class AllOf(Condition):
     """Fires when every constituent event has fired successfully."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, events: Sequence[Event]):
-        super().__init__(env, lambda evs, n: n == len(evs), events)
+        super().__init__(env, _all_fired, events)
 
 
 class AnyOf(Condition):
     """Fires when at least one constituent event has fired successfully."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, events: Sequence[Event]):
         if not events:
             raise ValueError("AnyOf needs at least one event")
-        super().__init__(env, lambda evs, n: n >= 1, events)
+        super().__init__(env, _any_fired, events)

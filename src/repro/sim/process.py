@@ -2,38 +2,54 @@
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator, Optional
 
 from repro.errors import Interrupt, ProcessError
-from repro.sim.core import Environment, Event, PRIORITY_URGENT
+from repro.errors import SimTimeError
+from repro.sim.core import Environment, Event, PRIORITY_URGENT, _Wake
 
 
 class Process(Event):
     """A running simulated activity.
 
     Wraps a generator.  Each value the generator yields must be an
-    :class:`Event`; the process sleeps until that event fires, then
+    :class:`Event` or a bare non-negative number; the process sleeps
+    until that event fires (a number ``d`` sleeps for ``d`` seconds,
+    exactly like ``yield env.timeout(d)`` but allocation-free), then
     resumes with the event's value (or has the event's exception thrown
     into it).  A :class:`Process` is itself an event that fires when the
     generator returns (value = return value) or raises (failure).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
 
     def __init__(self, env: Environment, generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise ProcessError(f"process body must be a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         #: The event this process is currently waiting on (None if ready).
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        # Kick off at the current time, ahead of normal events.
-        bootstrap = Event(env)
-        bootstrap._ok = True
-        bootstrap._value = None
-        bootstrap.callbacks.append(self._resume)
-        env._schedule(bootstrap, PRIORITY_URGENT)
+        # Kick off at the current time, ahead of normal events.  Bootstrap
+        # wakeups are kernel-internal and recycled through the wake pool.
+        pool = env._wake_pool
+        if pool:
+            bootstrap = pool.pop()
+            bootstrap._ok = True
+            bootstrap._value = None
+            bootstrap._processed = False
+            bootstrap._defused = False
+            bootstrap.callbacks = [self._resume]
+        else:
+            bootstrap = _Wake(env)
+            bootstrap._ok = True
+            bootstrap._value = None
+            bootstrap.callbacks.append(self._resume)
+        env._cur_urgent.append(bootstrap)
 
     @property
     def is_alive(self) -> bool:
@@ -57,62 +73,109 @@ class Process(Event):
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
         interrupt_event.callbacks.append(self._resume)
-        self.env._schedule(interrupt_event, PRIORITY_URGENT)
+        self.env._cur_urgent.append(interrupt_event)
 
     # -- internal -------------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        # Stale wakeup: an interrupt arrived while we waited on some target;
-        # unhook from that target so its eventual firing does not resume us
-        # twice.
-        if self._target is not None and event is not self._target:
-            if self._target.callbacks is not None:
+        target = self._target
+        if target is not None and event is not target:
+            # Stale wakeup: an interrupt arrived while we waited on some
+            # target; unhook from that target so its eventual firing does
+            # not resume us twice.
+            cbs = target.callbacks
+            if cbs is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    cbs.remove(self._resume)
                 except ValueError:
                     pass
         self._target = None
-        self.env.active_process = self
+        env = self.env
+        env.active_process = self
+        ok = event._ok
+        value = event._value
+        if type(event) is _Wake:
+            # Kernel-internal wakeup: nothing else holds a reference once
+            # its outcome is read, so recycle it.
+            env._wake_pool.append(event)
         try:
-            if event._ok:
-                result = self._generator.send(event._value)
+            if ok:
+                result = self._send(value)
             else:
                 # Mark handled: the generator is being given the exception.
                 event._defused = True
-                result = self._generator.throw(event._value)
+                result = self._throw(value)
         except StopIteration as stop:
-            self.env.active_process = None
+            env.active_process = None
             self.succeed(stop.value, priority=PRIORITY_URGENT)
             return
         except BaseException as exc:
-            self.env.active_process = None
+            env.active_process = None
             self.fail(exc, priority=PRIORITY_URGENT)
             return
-        self.env.active_process = None
-        if not isinstance(result, Event):
+        env.active_process = None
+        cls = type(result)
+        if cls is float or cls is int:
+            # Sleep protocol: a bare non-negative number yields a pure
+            # delay with no user-visible Timeout object.  Scheduling is
+            # exactly a ``yield env.timeout(result)`` — same position in
+            # the (time, priority, seq) order — but the parked event is
+            # a recycled kernel wake, so the hot sleep path allocates
+            # nothing.
+            if result < 0.0:
+                raise SimTimeError(f"negative sleep delay: {result}")
+            pool = env._wake_pool
+            if pool:
+                wake = pool.pop()
+                wake._processed = False
+                wake._defused = False
+                wake.callbacks = [self._resume]
+            else:
+                wake = _Wake(env)
+                wake.callbacks.append(self._resume)
+            wake._ok = True
+            wake._value = None
+            now = env._now
+            when = now + result
+            if when > now:
+                seq = env._seq
+                env._seq = seq + 1
+                heappush(env._heap, (when, 1, seq, wake))
+            else:
+                env._cur_normal.append(wake)
+            self._target = wake
+            return
+        if isinstance(result, Event):
+            if result.callbacks is not None:
+                # The common case: park on a live event.
+                self._target = result
+                result.callbacks.append(self._resume)
+                return
+        else:
             error = ProcessError(
                 f"process {self.name!r} yielded non-event {result!r}"
             )
             try:
-                self._generator.throw(error)
+                self._throw(error)
             except BaseException as exc:
                 self.fail(exc, priority=PRIORITY_URGENT)
                 return
             raise error
-        if result.callbacks is None:
-            # Already processed: resume immediately at the current time.
-            wake = Event(self.env)
-            wake._ok = result._ok
-            wake._value = result._value
-            if not result._ok:
-                wake._defused = True
-            self._target = wake
-            wake.callbacks.append(self._resume)
-            self.env._schedule(wake, PRIORITY_URGENT)
+        # Already processed: resume immediately at the current time.
+        pool = env._wake_pool
+        if pool:
+            wake = pool.pop()
+            wake._processed = False
+            wake.callbacks = [self._resume]
         else:
-            self._target = result
-            result.callbacks.append(self._resume)
+            wake = _Wake(env)
+            wake.callbacks.append(self._resume)
+        wake._ok = result._ok
+        wake._value = result._value
+        wake._defused = not result._ok
+        self._target = wake
+        env._cur_urgent.append(wake)
 
     def __repr__(self) -> str:
         state = "finished" if self.triggered else "alive"

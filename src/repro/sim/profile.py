@@ -1,0 +1,126 @@
+"""Kernel instrumentation: per-event-type dispatch counts and timings.
+
+The dispatch loop in :meth:`repro.sim.core.Environment._drain` costs
+nothing when profiling is off (a single ``is None`` test per event).
+When a :class:`KernelProfile` is attached, every dispatch is routed
+through :meth:`KernelProfile.dispatch`, which runs the callbacks while
+accumulating wall-clock time and a histogram bucketed by event type.
+
+Usage::
+
+    env = Environment()
+    prof = KernelProfile.attach(env)
+    ... run the simulation ...
+    print(prof.report())
+
+The ``repro-bench bench run --profile-cpu`` flag layers a cProfile
+capture of the whole experiment on top of this (see ``repro.cli``);
+this module covers the virtual-time view, cProfile the CPU view.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+#: Histogram bucket edges for per-dispatch wall time (seconds).
+_BUCKETS = (1e-7, 1e-6, 1e-5, 1e-4, 1e-3, float("inf"))
+
+
+class EventTypeStats:
+    """Accumulated dispatch statistics for one event type."""
+
+    __slots__ = ("count", "callbacks", "seconds", "hist")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.callbacks = 0
+        self.seconds = 0.0
+        self.hist = [0] * len(_BUCKETS)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "callbacks": self.callbacks,
+            "seconds": self.seconds,
+            "hist": {f"<{edge:g}s": n for edge, n in zip(_BUCKETS, self.hist)},
+        }
+
+
+class KernelProfile:
+    """Event-count / dispatch-time histograms, keyed by event type."""
+
+    __slots__ = ("stats", "events", "first_dispatch", "last_dispatch", "_clock")
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.stats: dict[str, EventTypeStats] = {}
+        self.events = 0
+        self.first_dispatch: Optional[float] = None
+        self.last_dispatch: Optional[float] = None
+        self._clock = clock
+
+    @classmethod
+    def attach(cls, env) -> "KernelProfile":
+        """Create a profile and hook it into ``env``'s dispatch loop."""
+        profile = cls()
+        env._profile = profile
+        return profile
+
+    @staticmethod
+    def detach(env) -> None:
+        env._profile = None
+
+    def dispatch(self, now: float, event, callbacks) -> None:
+        """Run ``callbacks`` for ``event``, recording count and elapsed time.
+
+        Called from ``Environment._drain``/``step`` in place of the raw
+        callback loop; must preserve its semantics exactly (callbacks run
+        in order; exceptions propagate).
+        """
+        clock = self._clock
+        start = clock()
+        for callback in callbacks:
+            callback(event)
+        elapsed = clock() - start
+
+        if self.first_dispatch is None:
+            self.first_dispatch = now
+        self.last_dispatch = now
+        self.events += 1
+
+        key = type(event).__name__
+        stats = self.stats.get(key)
+        if stats is None:
+            stats = self.stats[key] = EventTypeStats()
+        stats.count += 1
+        stats.callbacks += len(callbacks)
+        stats.seconds += elapsed
+        for i, edge in enumerate(_BUCKETS):
+            if elapsed < edge:
+                stats.hist[i] += 1
+                break
+
+    # -- reporting -----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "virtual_span": (
+                None if self.first_dispatch is None
+                else self.last_dispatch - self.first_dispatch
+            ),
+            "by_type": {k: v.as_dict() for k, v in sorted(self.stats.items())},
+        }
+
+    def report(self) -> str:
+        """Human-readable table, most dispatch-time-expensive types first."""
+        lines = [f"{'event type':<20} {'count':>10} {'cbs':>10} {'seconds':>10}"]
+        by_cost = sorted(self.stats.items(),
+                         key=lambda kv: kv[1].seconds, reverse=True)
+        for key, stats in by_cost:
+            lines.append(
+                f"{key:<20} {stats.count:>10} {stats.callbacks:>10}"
+                f" {stats.seconds:>10.4f}"
+            )
+        lines.append(f"{'total':<20} {self.events:>10}")
+        return "\n".join(lines)

@@ -8,6 +8,7 @@ engines, the serializing wire, and bounded queues all sit on top of
 from __future__ import annotations
 
 from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Deque, Optional
 
 from repro.errors import SimulationError
@@ -40,6 +41,8 @@ class Resource:
     ...     yield env.timeout(1.0)     # hold the resource
     ...     res.release(req)
     """
+
+    __slots__ = ("env", "capacity", "_users", "_waiting")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
@@ -97,22 +100,20 @@ class PriorityResource(Resource):
     Ties are FIFO (stable by insertion sequence).
     """
 
+    __slots__ = ("_counter", "_heap")
+
     def __init__(self, env: Environment, capacity: int = 1):
         super().__init__(env, capacity)
         self._counter = 0
         self._heap: list[tuple[int, int, Request]] = []
 
     def _enqueue(self, req: Request) -> None:
-        import heapq
-
-        heapq.heappush(self._heap, (req.priority, self._counter, req))
+        heappush(self._heap, (req.priority, self._counter, req))
         self._counter += 1
 
     def _dequeue(self) -> Optional[Request]:
-        import heapq
-
         while self._heap:
-            _, _, req = heapq.heappop(self._heap)
+            _, _, req = heappop(self._heap)
             return req
         return None
 
@@ -126,9 +127,7 @@ class PriorityResource(Resource):
         else:
             # Cancel from heap lazily.
             self._heap = [entry for entry in self._heap if entry[2] is not req]
-            import heapq
-
-            heapq.heapify(self._heap)
+            heapify(self._heap)
             return
         nxt = self._dequeue()
         if nxt is not None:
@@ -143,6 +142,8 @@ class Store:
     an item is available.  Used for message queues between simulated
     components.
     """
+
+    __slots__ = ("env", "capacity", "items", "_getters", "_putters")
 
     def __init__(self, env: Environment, capacity: float = float("inf")):
         if capacity <= 0:

@@ -20,7 +20,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro.errors import SimulationError
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, _PENDING
 
 
 class SimLock:
@@ -31,6 +31,8 @@ class SimLock:
     ``MPI_Parrived`` path ("tries to acquire a lock; ... otherwise it
     just returns").
     """
+
+    __slots__ = ("env", "_locked", "_waiting", "contended_count")
 
     def __init__(self, env: Environment):
         self.env = env
@@ -80,6 +82,8 @@ class SimLock:
 class SimSemaphore:
     """A counting semaphore for simulated processes."""
 
+    __slots__ = ("env", "_value", "_waiting")
+
     def __init__(self, env: Environment, value: int = 1):
         if value < 0:
             raise ValueError(f"semaphore value must be >= 0, got {value}")
@@ -119,6 +123,8 @@ class AtomicCounter:
     atomic (trivially so, under DES single-stepping).
     """
 
+    __slots__ = ("env", "_value", "access_cost", "_lock", "access_count")
+
     def __init__(self, env: Environment, initial: int = 0, access_cost: float = 0.0):
         if access_cost < 0:
             raise ValueError(f"negative access_cost: {access_cost}")
@@ -139,7 +145,7 @@ class AtomicCounter:
         yield self._lock.acquire()
         try:
             if self.access_cost > 0:
-                yield self.env.timeout(self.access_cost)
+                yield self.access_cost
             self._value += delta
             self.access_count += 1
             return self._value
@@ -151,11 +157,35 @@ class AtomicCounter:
         yield self._lock.acquire()
         try:
             if self.access_cost > 0:
-                yield self.env.timeout(self.access_cost)
+                yield self.access_cost
             self.access_count += 1
             return self._value
         finally:
             self._lock.release()
+
+
+class _Race(Event):
+    """First-of-two race event: a lean stand-in for :class:`AnyOf`.
+
+    :meth:`Notify.wait` is the engine's hottest composite-event site and
+    never reads the condition's value dict, so the full ``Condition``
+    machinery (constituent list, fired-value dict, evaluate callable) is
+    dead weight there.  ``_win`` mirrors ``Condition._check`` exactly —
+    first constituent to process triggers the race at the current time
+    with normal priority, later ones no-op — so the scheduled event
+    sequence is identical to the ``AnyOf`` it replaces.
+    """
+
+    __slots__ = ()
+
+    def _win(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
 
 
 class Notify:
@@ -169,6 +199,8 @@ class Notify:
     what makes a set landing *between* a predicate check and the park
     impossible to lose.
     """
+
+    __slots__ = ("env", "_event", "set_count")
 
     def __init__(self, env: Environment):
         self.env = env
@@ -200,11 +232,22 @@ class Notify:
         """
         if fallback is None:
             return self._event
-        return self.env.any_of([self._event, self.env.timeout(fallback)])
+        latch = self._event
+        timer = self.env.timeout(fallback)
+        race = _Race(self.env)
+        if latch.callbacks is None:
+            # Latch generation already processed: win immediately.
+            race._win(latch)
+        else:
+            latch.callbacks.append(race._win)
+        timer.callbacks.append(race._win)
+        return race
 
 
 class SimBarrier:
     """A reusable barrier for ``parties`` simulated processes."""
+
+    __slots__ = ("env", "parties", "_count", "_generation_event")
 
     def __init__(self, env: Environment, parties: int):
         if parties < 1:

@@ -14,7 +14,12 @@ import sys
 if __package__ in (None, ""):
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
 
-from tests.test_bench.test_golden import GOLDEN_DIR, encode
+from tests.test_bench.test_golden import (
+    GOLDEN_DIR,
+    encode,
+    run_ext_stencil_mini,
+    run_fig14_mini,
+)
 
 
 def main() -> None:
@@ -31,6 +36,8 @@ def main() -> None:
     goldens = {
         "fig06_mini.json": run_fig6(OVERHEAD_SIZES_FAST, FAST_PTP),
         "fig08_mini.json": run_fig8([4, 32], SIZES_FAST, FAST_PTP, 3),
+        "fig14_mini.json": run_fig14_mini(),
+        "ext_stencil_mini.json": run_ext_stencil_mini(),
     }
     for name, result in goldens.items():
         path = GOLDEN_DIR / name

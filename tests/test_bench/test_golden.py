@@ -51,3 +51,55 @@ def test_fig08_mini_sweep_matches_golden():
 
     result = encode(run_fig8([4, 32], SIZES_FAST, FAST_PTP, 3))
     assert json.loads(json.dumps(result)) == load("fig08_mini.json")
+
+
+def run_fig14_mini():
+    """One tiny Sweep3D point per design (the fig14 kernel hot path)."""
+    from repro.bench.sweep import run_sweep
+    from repro.core import PLogGPAggregator
+    from repro.model.tables import NIAGARA_LOGGP
+    from repro.units import KiB, ms
+
+    out = {}
+    for name, module in (
+        ("persist", None),
+        ("ploggp", PLogGPAggregator(NIAGARA_LOGGP, delay=ms(4))),
+    ):
+        res = run_sweep(module, grid=(2, 2), n_threads=4,
+                        total_bytes=64 * KiB, compute=1e-3,
+                        noise_fraction=0.01, iterations=2, warmup=1)
+        out[name] = {"times": list(res.times),
+                     "mean_time": res.mean_time,
+                     "mean_comm_time": res.mean_comm_time}
+    return out
+
+
+def run_ext_stencil_mini():
+    """A tiny 2x2 halo exchange (the ext_stencil kernel hot path)."""
+    from repro.coll import run_stencil
+    from repro.core import PLogGPAggregator
+    from repro.model.tables import NIAGARA_LOGGP
+    from repro.units import KiB, ms
+
+    out = {}
+    for name, module in (
+        ("persist", None),
+        ("ploggp", PLogGPAggregator(NIAGARA_LOGGP, delay=ms(4))),
+    ):
+        res = run_stencil(module, grid=(2, 2), n_threads=2,
+                          face_bytes=16 * KiB, compute=1e-3,
+                          noise_fraction=0.01, iterations=2, warmup=1)
+        out[name] = {"times": list(res.times),
+                     "mean_time": res.mean_time,
+                     "mean_comm_time": res.mean_comm_time}
+    return out
+
+
+def test_fig14_mini_sweep_matches_golden():
+    result = encode(run_fig14_mini())
+    assert json.loads(json.dumps(result)) == load("fig14_mini.json")
+
+
+def test_ext_stencil_mini_matches_golden():
+    result = encode(run_ext_stencil_mini())
+    assert json.loads(json.dumps(result)) == load("ext_stencil_mini.json")

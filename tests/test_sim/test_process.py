@@ -183,12 +183,65 @@ def test_yielding_non_event_fails_process():
     env = Environment()
 
     def bad(env):
-        yield 42
+        yield "not an event"
 
     p = env.process(bad(env))
     with pytest.raises(ProcessError):
         env.run()
     assert p.triggered and not p.ok
+
+
+def test_yielding_bare_number_sleeps():
+    # The kernel sleep protocol: a bare non-negative number is exactly
+    # ``yield env.timeout(n)`` without the Timeout allocation.
+    env = Environment()
+    ticks = []
+
+    def sleeper(env):
+        yield 1.5
+        ticks.append(env.now)
+        yield 0.0          # zero delay: resumes in the same timestep
+        ticks.append(env.now)
+        yield 2            # ints sleep too
+        ticks.append(env.now)
+
+    env.process(sleeper(env))
+    env.run()
+    assert ticks == [1.5, 1.5, 3.5]
+    assert env.now == 3.5
+
+
+def test_yielding_negative_number_raises():
+    from repro.errors import SimTimeError
+
+    env = Environment()
+
+    def bad(env):
+        yield -0.5
+
+    env.process(bad(env))
+    with pytest.raises(SimTimeError):
+        env.run()
+
+
+def test_number_sleep_orders_like_timeout():
+    # A float sleep and an equal env.timeout() sleep scheduled from two
+    # processes interleave in spawn (seq) order, same as two timeouts.
+    env = Environment()
+    order = []
+
+    def via_float(env):
+        yield 1.0
+        order.append("float")
+
+    def via_timeout(env):
+        yield env.timeout(1.0)
+        order.append("timeout")
+
+    env.process(via_float(env))
+    env.process(via_timeout(env))
+    env.run()
+    assert order == ["float", "timeout"]
 
 
 def test_non_generator_rejected():

@@ -1,0 +1,61 @@
+"""The kernel profiling hook: histograms without semantic drift."""
+
+from __future__ import annotations
+
+from repro.sim.core import Environment
+from repro.sim.profile import KernelProfile
+
+
+def _workload(env, ticks):
+    def worker(env):
+        for _ in range(5):
+            yield env.timeout(1e-6)
+            ticks.append(env.now)
+
+    for _ in range(4):
+        env.process(worker(env))
+
+
+def test_profile_counts_events_by_type():
+    env = Environment()
+    ticks = []
+    _workload(env, ticks)
+    prof = KernelProfile.attach(env)
+    env.run()
+    assert prof.events > 0
+    assert prof.stats["Timeout"].count == 20
+    # 4 bootstrap wakes + 4 process-completion events.
+    assert "_Wake" in prof.stats
+    assert prof.stats["Process"].count == 4
+    data = prof.as_dict()
+    assert data["events"] == prof.events
+    assert data["virtual_span"] >= 0
+    report = prof.report()
+    assert "Timeout" in report and "total" in report
+
+
+def test_profile_does_not_change_virtual_time():
+    plain_env = Environment()
+    plain_ticks = []
+    _workload(plain_env, plain_ticks)
+    plain_env.run()
+
+    prof_env = Environment()
+    prof_ticks = []
+    _workload(prof_env, prof_ticks)
+    KernelProfile.attach(prof_env)
+    prof_env.run()
+
+    assert prof_ticks == plain_ticks
+    assert prof_env.now == plain_env.now
+
+
+def test_detach_restores_raw_dispatch():
+    env = Environment()
+    prof = KernelProfile.attach(env)
+    KernelProfile.detach(env)
+    ticks = []
+    _workload(env, ticks)
+    env.run()
+    assert prof.events == 0
+    assert len(ticks) == 20

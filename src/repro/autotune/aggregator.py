@@ -117,7 +117,8 @@ def build_autotuner(params: Optional[dict] = None,
     * ``"bandit"`` (default) — epsilon-greedy/UCB over
       :func:`~repro.autotune.policy.candidate_plans`; knobs: ``counts``,
       ``deltas``, ``span``, ``epsilon``, ``decay``, ``mode``,
-      ``bandit_seed``, ``delay``, ``seed_model``.
+      ``bandit_seed``, ``delay``, ``seed_model``, ``window``
+      (sliding-window cost estimates for shifting fabrics).
     * ``"delta_tracker"`` — δ retargeting on a PLogGP-derived (or
       explicit ``base``) layout; knobs: ``delta`` (seed), ``quantile``,
       ``margin``, ``alpha``, ``min_delta``, ``max_delta``.
@@ -127,7 +128,8 @@ def build_autotuner(params: Optional[dict] = None,
       graph (:class:`~repro.autotune.plan_policy.PlanMutationPolicy`)
       from a PLogGP-seeded (or explicit ``seed_plan`` text) leaf plan;
       knobs: ``deltas``, ``epsilon``, ``decay``, ``bandit_seed``,
-      ``expand_after``, ``max_frontier``, ``delay``, ``seed_model``.
+      ``expand_after``, ``max_frontier``, ``delay``, ``seed_model``,
+      ``window``.
     """
     p = dict(params or {})
     name = p.get("policy", "bandit")
@@ -145,7 +147,8 @@ def build_autotuner(params: Optional[dict] = None,
                 decay=p.get("decay", 0.95), mode=p.get("mode", "epsilon"),
                 exploration=p.get("exploration", 1.0),
                 seed=p.get("bandit_seed", 0),
-                min_confident_plays=p.get("min_confident_plays", 2))
+                min_confident_plays=p.get("min_confident_plays", 2),
+                window=p.get("window"))
     elif name == "delta_tracker":
         def builder(n_user, partition_size, config):
             base = p.get("base")
@@ -205,7 +208,8 @@ def build_autotuner(params: Optional[dict] = None,
                 seed=p.get("bandit_seed", 0),
                 expand_after=p.get("expand_after", 2),
                 max_frontier=p.get("max_frontier", 32),
-                min_confident_plays=p.get("min_confident_plays", 2))
+                min_confident_plays=p.get("min_confident_plays", 2),
+                window=p.get("window"))
     else:
         raise ConfigError(f"unknown autotune policy {name!r}")
 

@@ -19,6 +19,7 @@ crediting and the tuning-store key all go through plan digests.
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 from typing import Optional, Sequence
 
 import numpy as np
@@ -66,6 +67,13 @@ class PlanMutationPolicy(Policy):
     the incumbent has been expanded (its whole neighbourhood was
     evaluated — a local optimum of the rewrite graph), and the
     incumbent has ``min_confident_plays`` plays.
+
+    ``window`` mirrors :class:`~repro.autotune.policy.BanditPolicy`:
+    when set, each plan's cost estimate is the mean of its last
+    ``window`` observations rather than the all-time running mean, so
+    the walk can re-converge after the fabric's background load shifts
+    (the :mod:`repro.fleet` noisy-neighbor scenario).  ``None`` keeps
+    the historical behaviour bit for bit.
     """
 
     def __init__(self, seed_plan: Plan, n_user: int,
@@ -75,7 +83,8 @@ class PlanMutationPolicy(Policy):
                  epsilon: float = 0.3, decay: float = 0.9,
                  seed: int = 0, expand_after: int = 2,
                  max_frontier: int = 32,
-                 min_confident_plays: int = 2):
+                 min_confident_plays: int = 2,
+                 window: Optional[int] = None):
         from repro.core.aggregators import _qps_for
 
         if not (0 <= epsilon <= 1):
@@ -88,6 +97,8 @@ class PlanMutationPolicy(Policy):
         if max_frontier < 2:
             raise ConfigError(
                 f"max_frontier must be >= 2, got {max_frontier}")
+        if window is not None and window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
         self.n_user = n_user
         self.config = config
         self.deltas = tuple(deltas)
@@ -100,12 +111,14 @@ class PlanMutationPolicy(Policy):
         self.expand_after = expand_after
         self.max_frontier = max_frontier
         self.min_confident_plays = min_confident_plays
+        self.window = window
         self._rng = np.random.default_rng(seed)
         self._steps = 0
         #: digest -> Plan, in insertion order (the search frontier).
         self._frontier: dict[str, Plan] = {}
         self._plays: dict[str, int] = {}
         self._mean_cost: dict[str, float] = {}
+        self._recent: dict[str, deque] = {}
         self._expanded: set[str] = set()
         # Canonicalize: frontier identity is the digest of the bare
         # 3-knob leaf form, the same form observe() derives from the
@@ -130,6 +143,8 @@ class PlanMutationPolicy(Policy):
         self._frontier[plan.digest] = plan
         self._plays[plan.digest] = 0
         self._mean_cost[plan.digest] = 0.0
+        if self.window is not None:
+            self._recent[plan.digest] = deque(maxlen=self.window)
 
     def _envelope(self, seed_plan: Plan) -> Plan:
         choice = plan_to_choice(seed_plan)
@@ -184,9 +199,14 @@ class PlanMutationPolicy(Policy):
         if digest not in self._frontier:
             return  # a pinned/foreign choice; nothing to credit
         self._plays[digest] += 1
-        n = self._plays[digest]
-        self._mean_cost[digest] += \
-            (obs.completion_time - self._mean_cost[digest]) / n
+        if self.window is not None:
+            recent = self._recent[digest]
+            recent.append(obs.completion_time)
+            self._mean_cost[digest] = sum(recent) / len(recent)
+        else:
+            n = self._plays[digest]
+            self._mean_cost[digest] += \
+                (obs.completion_time - self._mean_cost[digest]) / n
 
     def best(self) -> PlanChoice:
         return plan_to_choice(self._frontier[self._best_digest()])

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import abc
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -220,6 +221,15 @@ class BanditPolicy(Policy):
     plays UCB1 on cost, with the confidence radius scaled by the
     overall mean cost so the bound is unit-free.
 
+    ``window`` switches the per-arm estimate from the all-time running
+    mean to the mean of the arm's last ``window`` observations.  On a
+    stationary fabric the two converge; on a shared fabric where the
+    background load shifts (see :mod:`repro.fleet`), the windowed
+    estimate forgets the old regime after ``window`` plays instead of
+    dragging a stale prior forever, which is what lets the bandit
+    re-converge after a noisy neighbor arrives.  ``None`` (the
+    default) keeps the historical running-mean behaviour bit for bit.
+
     Deterministic given ``seed`` — exploration draws come from
     ``numpy.random.default_rng(seed)``.
     """
@@ -227,7 +237,8 @@ class BanditPolicy(Policy):
     def __init__(self, arms: Sequence[PlanChoice], epsilon: float = 0.2,
                  decay: float = 0.95, mode: str = "epsilon",
                  exploration: float = 1.0, seed: int = 0,
-                 min_confident_plays: int = 2):
+                 min_confident_plays: int = 2,
+                 window: Optional[int] = None):
         arms = list(arms)
         if not arms:
             raise ConfigError("BanditPolicy needs at least one arm")
@@ -239,15 +250,20 @@ class BanditPolicy(Policy):
             raise ConfigError(f"decay must be in (0, 1], got {decay}")
         if mode not in ("epsilon", "ucb"):
             raise ConfigError(f"unknown bandit mode: {mode!r}")
+        if window is not None and window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
         self.arms = arms
         self.epsilon = epsilon
         self.decay = decay
         self.mode = mode
         self.exploration = exploration
         self.min_confident_plays = min_confident_plays
+        self.window = window
         self._rng = np.random.default_rng(seed)
         self._plays = [0] * len(arms)
         self._mean_cost = [0.0] * len(arms)
+        self._recent = ([deque(maxlen=window) for _ in arms]
+                        if window is not None else None)
         self._steps = 0
 
     def candidates(self):
@@ -290,8 +306,13 @@ class BanditPolicy(Policy):
         except ValueError:
             return  # a pinned/foreign choice; nothing to credit
         self._plays[i] += 1
-        n = self._plays[i]
-        self._mean_cost[i] += (obs.completion_time - self._mean_cost[i]) / n
+        if self._recent is not None:
+            self._recent[i].append(obs.completion_time)
+            self._mean_cost[i] = sum(self._recent[i]) / len(self._recent[i])
+        else:
+            n = self._plays[i]
+            self._mean_cost[i] += \
+                (obs.completion_time - self._mean_cost[i]) / n
 
     def best(self):
         return self.arms[self._best_index()]

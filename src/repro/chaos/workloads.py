@@ -258,6 +258,22 @@ def run_chaos_pallreduce(schedule, seed, module="native", ladder=False,
         root_fills_only=False, expected_for=expected_for)
 
 
+@workload("fleet", n_nodes=8)
+def run_chaos_fleet(schedule, seed, module="native", ladder=False,
+                    config=None, iterations=4, warmup=1) -> RunReport:
+    """Two pair tenants sharing a spine link that flaps mid-campaign.
+
+    Thin delegator; the driver and its tenant-isolation invariants live
+    in :mod:`repro.fleet.chaos` (imported lazily to keep the chaos
+    registry import-light).
+    """
+    from repro.fleet.chaos import run_fleet_workload
+
+    return run_fleet_workload(schedule, seed, module=module, ladder=ladder,
+                              config=config, iterations=iterations,
+                              warmup=warmup)
+
+
 @workload("pbcast", n_nodes=5)
 def run_chaos_pbcast(schedule, seed, module="native", ladder=False,
                      config=None, iterations=4, warmup=1,

@@ -13,6 +13,9 @@ Installed as ``repro-bench`` (or ``python -m repro.cli``)::
     repro-bench autotune tune --sizes 256KiB,2MiB --store results/store
     repro-bench autotune show --store results/store
     repro-bench chaos --runs 50 --seed 7 --ladder --bundle-dir results/chaos
+    repro-bench fleet rank --levels 0,1,2 --transports 4,8,16
+    repro-bench fleet profile --jobs pair:2,halo:3 --background 1
+    repro-bench fleet retune --policy bandit --trajectory
 
 The registered paper experiments run through the ``bench`` group
 (see ``docs/BENCHMARKS.md``)::
@@ -330,6 +333,139 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _fleet_designs(transports: str, n_qps: int) -> list[tuple]:
+    designs = [("persist", ("persist",))]
+    for part in transports.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        t = int(part)
+        designs.append((f"T={t}", ("fixed", (("n_qps", n_qps),
+                                             ("n_transport", t)))))
+    return designs
+
+
+def cmd_fleet_rank(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.fleet import run_contended_pair
+
+    levels = [int(part) for part in args.levels.split(",") if part.strip()]
+    designs = _fleet_designs(args.transports, args.qps)
+    rows = []
+    for level in levels:
+        cells = {}
+        spine = 0.0
+        for name, module in designs:
+            res = run_contended_pair(
+                module=module, level=level,
+                n_partitions=args.partitions,
+                partition_size=parse_size(args.partition_size),
+                iterations=args.iterations, warmup=args.warmup,
+                seed=args.seed)
+            cells[name] = res["mean_time"]
+            spine = max(spine, res["spine_utilization"])
+        best = min(cells, key=cells.get)
+        rows.append([level, *(fmt_time(cells[n]) for n, _ in designs),
+                     best, f"{spine:.0%}"])
+    print(f"partitioned-pair ranking vs spine contention "
+          f"({args.partitions}x{args.partition_size} per iteration)")
+    print(format_table(
+        ["bg tenants", *(n for n, _ in designs), "best", "spine util"],
+        rows))
+    return 0
+
+
+def cmd_fleet_profile(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.fleet import (
+        JobSpec,
+        background_jobs,
+        run_fleet_with_slowdowns,
+    )
+
+    jobs = []
+    for i, part in enumerate(spec.strip()
+                             for spec in args.jobs.split(",")
+                             if spec.strip()):
+        kind, _, ranks = part.partition(":")
+        jobs.append(JobSpec(
+            name=f"{kind}{i}", kind=kind, n_ranks=int(ranks or 2),
+            n_partitions=args.partitions,
+            partition_size=parse_size(args.partition_size),
+            iterations=args.iterations, warmup=args.warmup))
+    jobs += background_jobs(args.background, seed=args.seed + 1)
+    profile = run_fleet_with_slowdowns(jobs, placement=args.placement,
+                                       seed=args.seed)
+    rows = []
+    for name, view in profile.tenants.items():
+        mean = view.mean_iteration
+        slow = profile.slowdowns.get(name)
+        rows.append([
+            name, view.kind, ",".join(str(n) for n in view.nodes),
+            fmt_time(mean) if mean is not None else "-",
+            f"{slow:.2f}x" if slow is not None else "-",
+        ])
+    print(f"fleet profile: {len(jobs)} tenants, {args.placement} "
+          f"placement, makespan {fmt_time(profile.makespan)}")
+    print(format_table(
+        ["tenant", "kind", "nodes", "iter time", "slowdown"], rows))
+    busiest = ", ".join(f"{name} {util:.0%}"
+                        for name, util in profile.busiest_links())
+    print(f"busiest links: {busiest}")
+    return 0
+
+
+def cmd_fleet_retune(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.fleet import run_reconvergence
+
+    if args.policy == "bandit":
+        params = {"policy": "bandit", "counts": [4, 16], "deltas": [None],
+                  "epsilon": 0.3, "decay": 0.9, "bandit_seed": 3,
+                  "window": args.window}
+    else:
+        params = {"policy": "plan_mutation", "deltas": [None],
+                  "epsilon": 0.3, "decay": 0.85, "bandit_seed": 7,
+                  "expand_after": 3, "max_frontier": 10,
+                  "window": args.window}
+    congested = args.congested_rounds
+    if congested is None:
+        congested = 24 if args.policy == "bandit" else 30
+    res = run_reconvergence(
+        params, quiet_rounds=args.quiet_rounds,
+        congested_rounds=congested,
+        tail_rounds=args.tail_rounds, compute=us(args.compute_us),
+        seed=args.seed)
+
+    def plan_str(plan):
+        if plan is None:
+            return "-"
+        t, q, delta = plan
+        suffix = f" d={fmt_time(delta)}" if delta is not None else ""
+        return f"T={t} QP={q}{suffix}"
+
+    rows = [
+        ["quiet-best plan", plan_str(res["quiet_best"])],
+        ["congested-best plan", plan_str(res["congested_best"])],
+        ["plan changed", "yes" if res["plan_changed"] else "no"],
+        ["re-converged at round", str(res["reconverged_round"])],
+        ["rounds to re-converge", str(res["rounds_to_reconverge"])],
+        ["regret vs congested-best", fmt_time(res["regret"])],
+        ["adapted", "yes" if res["adapted"] else "NO"],
+    ]
+    print(f"live re-tuning [{args.policy}]: neighbor arrives at round "
+          f"{res['arrive_round']}, departs at {res['depart_round']}")
+    print(format_table(["re-convergence", "value"], rows))
+    if args.trajectory:
+        rows = [[r["round"],
+                 plan_str((r["n_transport"], r["n_qps"], r["delta"])),
+                 fmt_time(r["completion_time"])
+                 if r["completion_time"] is not None else "-"]
+                for r in res["rounds"]]
+        print(format_table(["round", "plan", "completion"], rows))
+    return 0 if res["adapted"] else 1
+
+
 def cmd_bench_list(args) -> int:
     from repro.bench.reporting import format_table
     from repro.exp import all_experiments, get_profile
@@ -592,6 +728,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-run progress on stderr")
     p.set_defaults(func=cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet", help="shared-fabric simulation (repro.fleet)")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    p = fleet_sub.add_parser(
+        "rank", help="transport-design ranking vs spine contention")
+    p.add_argument("--levels", default="0,1,2",
+                   help="comma list of background-tenant counts")
+    p.add_argument("--transports", default="4,8,16",
+                   help="fixed-aggregation transport counts to rank")
+    p.add_argument("--qps", type=int, default=2)
+    p.add_argument("--partitions", type=int, default=16)
+    p.add_argument("--partition-size", default="64KiB")
+    p.add_argument("--iterations", type=int, default=6)
+    p.add_argument("--warmup", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fleet_rank)
+
+    p = fleet_sub.add_parser(
+        "profile", help="multi-tenant mix with per-job slowdowns")
+    p.add_argument("--jobs", default="pair:2,halo:3",
+                   help="comma list of kind:ranks tenants "
+                        "(kinds: pair, halo, tree)")
+    p.add_argument("--background", type=int, default=1,
+                   help="permutation-traffic tenants to add")
+    p.add_argument("--placement", default="spread",
+                   choices=["packed", "spread", "random"])
+    p.add_argument("--partitions", type=int, default=16)
+    p.add_argument("--partition-size", default="64KiB")
+    p.add_argument("--iterations", type=int, default=6)
+    p.add_argument("--warmup", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fleet_profile)
+
+    p = fleet_sub.add_parser(
+        "retune", help="live autotuner re-convergence under a noisy "
+                       "neighbor (exits 1 unless it adapts)")
+    p.add_argument("--policy", default="bandit",
+                   choices=["bandit", "plan_mutation"])
+    p.add_argument("--quiet-rounds", type=int, default=12)
+    p.add_argument("--congested-rounds", type=int, default=None,
+                   help="default: 24 (bandit) / 30 (plan_mutation — the "
+                        "frontier walk needs the longer episode)")
+    p.add_argument("--tail-rounds", type=int, default=8)
+    p.add_argument("--window", type=int, default=4,
+                   help="sliding-window size for cost estimates")
+    p.add_argument("--compute-us", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--trajectory", action="store_true",
+                   help="print the full per-round plan trajectory")
+    p.set_defaults(func=cmd_fleet_retune)
 
     autotune = sub.add_parser(
         "autotune", help="closed-loop tuning store (repro.autotune)")

@@ -1100,3 +1100,152 @@ def _build_ext_model_vs_sim(profile: Profile) -> ExperimentSpec:
         return ext_model_vs_sim_spec()
     return ext_model_vs_sim_spec((16 * KiB, 16 * MiB), iterations=8,
                                  warmup=2)
+
+
+# ------------------------------------------------------------- ext_fleet
+
+#: Background-tenant counts on the shared spine (0 = quiet fabric).
+FLEET_LEVELS = (0, 1, 2)
+#: The ranking cells: the paper-style designs whose order flips under
+#: contention (quiet-best T=16 loses to T=4 once the spine is busy).
+FLEET_DESIGNS = (
+    ("persist", PERSIST),
+    ("T=4", ["fixed", {"n_transport": 4, "n_qps": 2}]),
+    ("T=8", ["fixed", {"n_transport": 8, "n_qps": 2}]),
+    ("T=16", ["fixed", {"n_transport": 16, "n_qps": 2}]),
+)
+#: The multi-tenant mix for the slowdown profile (fits the 8-node
+#: fleet fabric under spread placement: 2 + 3 + 2 nodes).
+FLEET_MIX = (
+    {"name": "pair", "kind": "pair", "n_ranks": 2, "n_partitions": 16,
+     "partition_size": 64 * KiB, "iterations": 6, "warmup": 2},
+    {"name": "halo", "kind": "halo", "n_ranks": 3, "n_partitions": 8,
+     "partition_size": 64 * KiB, "iterations": 6, "warmup": 2},
+)
+FLEET_NEIGHBOR = {
+    "name": "bg0", "kind": "traffic", "n_ranks": 2,
+    "traffic": {"kind": "permutation", "nbytes": 256 * KiB,
+                "period": us(30), "horizon": ms(2), "seed": 11}}
+#: Policy knobs for the live re-convergence probe.  Windowed cost
+#: estimates (``window``) are what let both policies forget the quiet
+#: regime fast enough to re-rank the plans mid-run.
+FLEET_BANDIT = {"policy": "bandit", "counts": [4, 16], "deltas": [None],
+                "epsilon": 0.3, "decay": 0.9, "bandit_seed": 3,
+                "window": 4}
+FLEET_MUTATION = {"policy": "plan_mutation", "deltas": [None],
+                  "epsilon": 0.3, "decay": 0.85, "bandit_seed": 7,
+                  "expand_after": 3, "max_frontier": 10, "window": 4}
+
+
+def ext_fleet_spec(levels=FLEET_LEVELS, designs=FLEET_DESIGNS,
+                   rank_iter: Optional[Mapping] = None,
+                   mix=FLEET_MIX) -> ExperimentSpec:
+    """Shared-fabric fleet: contention ranking, tenancy, live re-tuning.
+
+    Three questions on the routed Dragonfly+ fleet fabric: (a) how does
+    the fig08-style transport-design ranking change as background
+    tenants congest the spine (level 0 = same routed fabric, quiet, so
+    the contended cells are directly comparable); (b) what per-job
+    slowdowns does a multi-tenant mix suffer vs each job running alone,
+    with and without a noisy neighbor; (c) when a neighbor arrives
+    mid-run, do the closed-loop autotuners — the bandit and the
+    plan-mutation policy — re-converge onto the congested-optimal plan,
+    and at what regret.
+    """
+    levels, designs = list(levels), list(designs)
+    it = dict(rank_iter or {"iterations": 6, "warmup": 2})
+    rank = {(name, level): Scenario.make(
+                "fleet_rank", module=desc, level=level,
+                iterations=it["iterations"], warmup=it["warmup"], seed=0)
+            for name, desc in designs for level in levels}
+    quiet_mix = Scenario.make("fleet", jobs=list(mix),
+                              placement="spread", seed=0)
+    noisy_mix = Scenario.make("fleet", jobs=list(mix) + [FLEET_NEIGHBOR],
+                              placement="spread", seed=0)
+    bandit = Scenario.make(
+        "fleet_autotune", autotune=FLEET_BANDIT, quiet_rounds=12,
+        congested_rounds=24, tail_rounds=8, compute=2e-5, seed=3)
+    mutation = Scenario.make(
+        "fleet_autotune", autotune=FLEET_MUTATION, quiet_rounds=12,
+        congested_rounds=30, tail_rounds=8, compute=2e-5, seed=3)
+
+    def collect(res):
+        times = {level: {name: res[rank[(name, level)]]["mean_time"]
+                         for name, _ in designs}
+                 for level in levels}
+        spine = {level: max(res[rank[(name, level)]]["spine_utilization"]
+                            for name, _ in designs)
+                 for level in levels}
+        series = {
+            f"{name} vs persist": {
+                level: times[level]["persist"] / times[level][name]
+                for level in levels}
+            for name, _ in designs if name != "persist"
+        }
+        quiet, noisy = res[quiet_mix], res[noisy_mix]
+        series["slowdown, shared mix"] = dict(quiet["slowdowns"])
+        series["slowdown, mix + neighbor"] = dict(noisy["slowdowns"])
+        auto = {"bandit": res[bandit], "plan_mutation": res[mutation]}
+        series["re-convergence rounds"] = {
+            policy: data["rounds_to_reconverge"]
+            for policy, data in auto.items()}
+        return {
+            "series": series,
+            "ranking": {str(level): {
+                "times": times[level],
+                "best": min(times[level], key=times[level].get),
+                "spine_utilization": spine[level],
+            } for level in levels},
+            "slowdowns": {"shared": quiet["slowdowns"],
+                          "with_neighbor": noisy["slowdowns"]},
+            "autotune": {policy: {
+                k: data[k] for k in
+                ("quiet_best", "congested_best", "plan_changed",
+                 "reconverged_round", "rounds_to_reconverge", "regret",
+                 "adapted", "quiet_plan_means", "congested_plan_means")
+            } for policy, data in auto.items()},
+        }
+
+    def report(payload):
+        names = [name for name, _ in designs]
+        rows = [[level,
+                 *(fmt_time(cell["times"][n]) for n in names),
+                 cell["best"], f"{cell['spine_utilization']:.0%}"]
+                for level, cell in payload["ranking"].items()]
+        ranking = format_table(
+            ["bg tenants", *names, "best", "spine util"], rows)
+        slow = payload["slowdowns"]
+        rows = [[job, f"{slow['shared'].get(job, 1.0):.2f}x",
+                 f"{slow['with_neighbor'].get(job, 1.0):.2f}x"]
+                for job in sorted(slow["shared"])]
+        slowdown = format_table(
+            ["job", "shared mix", "mix + neighbor"], rows)
+        rows = []
+        for policy, a in payload["autotune"].items():
+            plan = "->".join(
+                f"T={p[0]} QP={p[1]}"
+                for p in (a["quiet_best"], a["congested_best"]))
+            rows.append([
+                policy, plan,
+                str(a["rounds_to_reconverge"]),
+                fmt_time(a["regret"]),
+                "yes" if a["adapted"] else "NO"])
+        autotune = format_table(
+            ["policy", "plan shift", "re-conv rounds", "regret",
+             "adapted"], rows)
+        return (f"-- transport ranking vs spine contention --\n{ranking}"
+                f"\n\n-- per-job slowdown vs isolated baseline --\n"
+                f"{slowdown}\n\n-- live re-convergence (neighbor "
+                f"arrives mid-run) --\n{autotune}")
+
+    points = (list(rank.values())
+              + [quiet_mix, noisy_mix, bandit, mutation])
+    return ExperimentSpec(points, collect, report, SPEEDUP)
+
+
+@register("ext_fleet", "Extension: shared-fabric fleet — contention "
+                       "ranking, tenancy, live re-tuning")
+def _build_ext_fleet(profile: Profile) -> ExperimentSpec:
+    if profile.name == "paper":
+        return ext_fleet_spec(rank_iter={"iterations": 10, "warmup": 3})
+    return ext_fleet_spec(rank_iter={"iterations": 6, "warmup": 2})

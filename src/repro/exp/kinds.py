@@ -217,6 +217,64 @@ def _autotune(p: dict) -> dict:
     }
 
 
+@kind("fleet")
+def _fleet(p: dict) -> dict:
+    from repro.fleet import JobSpec, run_fleet_with_slowdowns
+
+    jobs = [JobSpec.from_dict(d) for d in p["jobs"]]
+    profile = run_fleet_with_slowdowns(
+        jobs, placement=p.get("placement", "spread"),
+        seed=p.get("seed", 0), config=_config(p))
+    spine = {name: stats["utilization"]
+             for name, stats in profile.links.items()
+             if name.startswith("global")}
+    return {
+        "makespan": profile.makespan,
+        "slowdowns": dict(profile.slowdowns),
+        "mean_iterations": {
+            name: view.mean_iteration
+            for name, view in profile.tenants.items()
+            if view.mean_iteration is not None},
+        "spine_utilization": max(spine.values()) if spine else 0.0,
+        "link_histogram": profile.link_histogram(),
+        "busiest_links": [list(pair) for pair in profile.busiest_links()],
+    }
+
+
+@kind("fleet_rank")
+def _fleet_rank(p: dict) -> dict:
+    from repro.fleet import run_contended_pair
+
+    return run_contended_pair(
+        module=p["module"], level=p["level"],
+        n_partitions=p.get("n_partitions", 16),
+        partition_size=p.get("partition_size", 64 * 1024),
+        iterations=p["iterations"], warmup=p["warmup"],
+        compute=p.get("compute", 0.0), seed=p.get("seed", 0),
+        config=_config(p))
+
+
+@kind("fleet_autotune")
+def _fleet_autotune(p: dict) -> dict:
+    from repro.fleet import run_reconvergence
+
+    res = run_reconvergence(
+        p["autotune"], quiet_rounds=p["quiet_rounds"],
+        congested_rounds=p["congested_rounds"],
+        tail_rounds=p["tail_rounds"],
+        n_partitions=p.get("n_partitions", 16),
+        partition_size=p.get("partition_size", 64 * 1024),
+        compute=p.get("compute", 0.0), seed=p.get("seed", 0),
+        config=_config(p))
+    # Fold the raw per-round records into a compact trajectory so the
+    # result artifact stays readable; everything else passes through.
+    res["trajectory"] = [
+        [r["round"], r["n_transport"], r["n_qps"], r["delta"],
+         r["completion_time"]]
+        for r in res.pop("rounds")]
+    return res
+
+
 @kind("model_curve")
 def _model_curve(p: dict) -> dict:
     from repro.model import model_curve

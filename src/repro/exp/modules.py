@@ -113,6 +113,7 @@ def build_module(desc: Optional[Sequence[Any]]):
 _TOPOLOGIES = {
     "uniform": "UniformTopology",
     "dragonfly+": "DragonflyPlus",
+    "dragonfly+routed": "RoutedDragonflyPlus",
 }
 
 

@@ -1,0 +1,49 @@
+"""repro.fleet — shared-fabric simulation: congestion, tenancy, autotuning.
+
+The fleet layer turns the single-experiment simulator into a
+multi-tenant one: a routed Dragonfly+ topology with per-link contention
+queues (:mod:`repro.ib.topology` / :mod:`repro.ib.link`), a job/tenant
+scheduler placing many concurrent jobs and seeded background-traffic
+generators on disjoint node sets (:mod:`repro.fleet.spec`,
+:mod:`repro.fleet.tenancy`, :mod:`repro.fleet.traffic`), per-tenant and
+per-link observability (:mod:`repro.fleet.profile`), and the
+experiment drivers that re-run the fig08 rankings under contention and
+probe live autotuner re-convergence (:mod:`repro.fleet.run`).
+
+See docs/FLEET.md for the model and how to read a FleetProfile.
+"""
+
+from repro.fleet.profile import FleetProfile, TenantView, attach_slowdowns
+from repro.fleet.run import (
+    background_jobs,
+    default_topology,
+    isolated_baselines,
+    run_contended_pair,
+    run_fleet,
+    run_fleet_with_slowdowns,
+    run_reconvergence,
+)
+from repro.fleet.spec import JOB_KINDS, PLACEMENTS, JobSpec, place_jobs
+from repro.fleet.tenancy import TenantScheduler
+from repro.fleet.traffic import TRAFFIC_KINDS, TrafficSpec, offered_load
+
+__all__ = [
+    "FleetProfile",
+    "TenantView",
+    "attach_slowdowns",
+    "background_jobs",
+    "default_topology",
+    "isolated_baselines",
+    "run_contended_pair",
+    "run_fleet",
+    "run_fleet_with_slowdowns",
+    "run_reconvergence",
+    "JOB_KINDS",
+    "PLACEMENTS",
+    "JobSpec",
+    "place_jobs",
+    "TenantScheduler",
+    "TRAFFIC_KINDS",
+    "TrafficSpec",
+    "offered_load",
+]

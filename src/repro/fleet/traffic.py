@@ -1,0 +1,116 @@
+"""Seeded background-traffic generators: the fleet's noisy neighbors.
+
+A :class:`TrafficSpec` describes an offered-load pattern over a tenant's
+node set; :func:`offered_load` expands it *eagerly* into a deterministic
+event sequence ``[(time, src, dst, nbytes), ...]`` from a PCG64 stream
+keyed by the spec's seed — same seed, same events, bit for bit, which is
+what makes congested fleet runs reproducible and shardable across the
+``exp`` process pool.  Three patterns ship:
+
+* ``onoff`` — alternating on/off windows; during an on-window every node
+  sends one message per period to a freshly drawn partner;
+* ``permutation`` — a fixed seeded permutation; each node streams to its
+  image every period (the classic adversarial pattern for multi-path
+  fabrics);
+* ``incast`` — all nodes burst toward one seeded target simultaneously.
+
+The generators only *describe* load; :mod:`repro.fleet.tenancy` replays
+the events through real MPI sends so the traffic contends on the routed
+fabric's link queues like any first-class tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import KiB, ms, us
+
+TRAFFIC_KINDS = ("onoff", "permutation", "incast")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A seeded background-traffic pattern (JSON-safe)."""
+
+    kind: str = "onoff"
+    #: Bytes per message.
+    nbytes: int = 256 * KiB
+    #: Spacing between message starts during active windows.
+    period: float = us(60)
+    #: Messages per on-window (``onoff``) or per burst (``incast``).
+    burst: int = 8
+    #: Idle gap between on-windows / bursts.
+    gap: float = us(300)
+    #: No events are generated at or after this virtual time.
+    horizon: float = ms(4)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in TRAFFIC_KINDS:
+            raise ConfigError(
+                f"unknown traffic kind {self.kind!r} "
+                f"(have: {', '.join(TRAFFIC_KINDS)})")
+        if self.nbytes <= 0 or self.burst < 1:
+            raise ConfigError("traffic needs positive nbytes and burst")
+        if self.period <= 0 or self.gap < 0 or self.horizon <= 0:
+            raise ConfigError("traffic times must be positive")
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind, "nbytes": self.nbytes,
+            "period": self.period, "burst": self.burst, "gap": self.gap,
+            "horizon": self.horizon, "seed": self.seed,
+        }
+
+
+def offered_load(spec: TrafficSpec,
+                 nodes: list[int]) -> list[tuple[float, int, int, int]]:
+    """Expand a spec into its deterministic offered-load event sequence.
+
+    Returns ``[(time, src_node, dst_node, nbytes), ...]`` sorted by
+    time; ``src``/``dst`` are drawn from ``nodes`` only.  Purely a
+    function of ``(spec, nodes)`` — no simulator state involved.
+    """
+    if len(nodes) < 2:
+        raise ConfigError("traffic needs at least two nodes")
+    rng = np.random.Generator(np.random.PCG64(spec.seed))
+    events: list[tuple[float, int, int, int]] = []
+    if spec.kind == "onoff":
+        t = 0.0
+        while t < spec.horizon:
+            for i in range(spec.burst):
+                at = t + i * spec.period
+                if at >= spec.horizon:
+                    break
+                src, dst = rng.choice(len(nodes), size=2, replace=False)
+                events.append((at, nodes[src], nodes[dst], spec.nbytes))
+            t += spec.burst * spec.period + spec.gap
+    elif spec.kind == "permutation":
+        perm = rng.permutation(len(nodes))
+        # Re-draw fixed points so every node genuinely sends.
+        while any(perm[i] == i for i in range(len(nodes))):
+            perm = rng.permutation(len(nodes))
+        t = 0.0
+        while t < spec.horizon:
+            jitter = rng.random(len(nodes)) * spec.period * 0.1
+            for i, node in enumerate(nodes):
+                events.append((t + float(jitter[i]), node,
+                               nodes[int(perm[i])], spec.nbytes))
+            t += spec.period
+    else:  # incast
+        target = int(rng.integers(len(nodes)))
+        t = 0.0
+        while t < spec.horizon:
+            for i, node in enumerate(nodes):
+                if i == target:
+                    continue
+                for b in range(spec.burst):
+                    at = t + b * spec.period
+                    if at < spec.horizon:
+                        events.append((at, node, nodes[target], spec.nbytes))
+            t += spec.burst * spec.period + spec.gap
+    events.sort(key=lambda e: (e[0], e[1], e[2]))
+    return events

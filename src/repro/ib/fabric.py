@@ -39,6 +39,20 @@ class Fabric:
         #: Optional :class:`repro.ib.topology.Topology`; None = uniform
         #: latency from the link config.
         self.topology = topology
+        #: Shared-link contention queues, keyed by topology link key.
+        #: Built only for *routed* topologies; None means the fabric is
+        #: latency-only and the NICs take the quiet transmit path with
+        #: bit-identical timing to a build without the link layer.
+        self.links = None
+        self._routes: dict[tuple[int, int], tuple] = {}
+        #: Per-chunk contended-grant delay (see RoutedDragonflyPlus).
+        self.link_arbitration = 0.0
+        if topology is not None and getattr(topology, "routed", False):
+            from repro.ib.link import LinkQueue
+
+            self.links = {key: LinkQueue(env, key)
+                          for key in topology.link_keys()}
+            self.link_arbitration = getattr(topology, "arbitration", 0.0)
         self._nics: dict[int, NIC] = {}
         self._latency_overrides: dict[tuple[int, int], float] = {}
         #: Fault/retry/reconnect counters; always present, cheap to bump.
@@ -89,8 +103,31 @@ class Fabric:
         """Override propagation latency for the (a, b) pair, both ways."""
         if latency < 0:
             raise ConfigError(f"negative latency: {latency}")
+        for node in (a, b):
+            if node not in self._nics:
+                raise ConfigError(f"no node {node} in fabric")
         self._latency_overrides[(a, b)] = latency
         self._latency_overrides[(b, a)] = latency
+
+    def route_links(self, src: int, dst: int) -> tuple:
+        """Link queues the (src, dst) path crosses, in hop order.
+
+        Only meaningful on routed topologies (``self.links`` is not
+        None); the resolution is memoized per ordered pair.
+        """
+        route = self._routes.get((src, dst))
+        if route is None:
+            keys = self.topology.route(src, dst)
+            route = self._routes[(src, dst)] = tuple(
+                self.links[key] for key in keys)
+        return route
+
+    def link_stats(self, makespan: float) -> dict:
+        """Per-link occupancy stats, keyed by printable link name."""
+        if self.links is None:
+            return {}
+        return {"/".join(str(part) for part in key): link.stats(makespan)
+                for key, link in self.links.items()}
 
     def latency(self, src: int, dst: int) -> float:
         """One-way propagation latency between two nodes.

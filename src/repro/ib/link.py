@@ -107,6 +107,61 @@ def wire_table(cfg: NICConfig) -> WireTimeTable:
     return table
 
 
+class LinkQueue:
+    """One shared fabric link: a capacity-1 serialization queue.
+
+    Backs the routed-topology link graph
+    (:class:`repro.ib.topology.RoutedDragonflyPlus` via
+    :class:`repro.ib.fabric.Fabric`): every chunk whose route crosses
+    this link claims the :class:`~repro.sim.resources.Resource` for its
+    serialization time, so concurrent flows sharing the link genuinely
+    queue behind each other.  The queue keeps occupancy statistics for
+    the fleet profiler — accumulated busy time, bytes carried, and the
+    deepest wait queue observed.
+    """
+
+    __slots__ = ("key", "resource", "busy_time", "bytes_carried",
+                 "chunks_carried", "max_queue")
+
+    def __init__(self, env, key):
+        from repro.sim.resources import Resource
+
+        self.key = key
+        self.resource = Resource(env, capacity=1)
+        self.busy_time = 0.0
+        self.bytes_carried = 0
+        self.chunks_carried = 0
+        self.max_queue = 0
+
+    def note(self, occupancy: float, nbytes: int) -> None:
+        """Account one chunk's traversal (called while holding a slot)."""
+        self.busy_time += occupancy
+        self.bytes_carried += nbytes
+        self.chunks_carried += 1
+        depth = self.resource.queue_length
+        if depth > self.max_queue:
+            self.max_queue = depth
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of ``makespan`` this link spent serializing."""
+        if makespan <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / makespan)
+
+    def stats(self, makespan: float) -> dict:
+        """JSON-safe occupancy summary for profiles and reports."""
+        return {
+            "busy_time": self.busy_time,
+            "bytes": self.bytes_carried,
+            "chunks": self.chunks_carried,
+            "max_queue": self.max_queue,
+            "utilization": self.utilization(makespan),
+        }
+
+    def __repr__(self) -> str:
+        return f"<LinkQueue {self.key} bytes={self.bytes_carried}>"
+
+
 class IngressPort:
     """Analytic receive-side serializer: a busy-until clock per NIC."""
 

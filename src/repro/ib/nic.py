@@ -144,6 +144,9 @@ class NIC:
                 yield from self._execute_read(qp, wr, nbytes, remote)
             elif remote is self:
                 yield from self._transmit_loopback(qp, wr, payload, nbytes, remote)
+            elif self.fabric.links is not None:
+                yield from self._transmit_routed(qp, wr, payload, nbytes,
+                                                 remote)
             else:
                 yield from self._transmit_wire(qp, wr, payload, nbytes, remote)
 
@@ -176,6 +179,89 @@ class NIC:
             arrival = ingress.admit(start, occupancy, latency, chunk)
         self._schedule_delivery(qp, wr, payload, nbytes, remote,
                                 arrival, ack_latency=latency)
+
+    def _transmit_routed(self, qp: QueuePair, wr: SendWR, payload,
+                         nbytes: int, remote: "NIC"):
+        """Wire transmission across a routed topology's shared links.
+
+        After the usual NIC egress serialization each chunk claims every
+        link on its route (leaf-up, optional global, leaf-down) for one
+        occupancy, so concurrent flows crossing the same link genuinely
+        queue behind each other.  The hop claims run in a spawned
+        per-chunk forwarding process so chunks pipeline across hops
+        (cut-through, not store-and-forward): an uncongested flow still
+        sustains its injection rate regardless of hop count.  Per-link
+        FIFO grants keep chunks in order — chunk *k* requests every hop
+        before chunk *k+1* does (egress serializes the requests), so
+        forwarding completes in chunk order and the last chunk's
+        arrival schedules delivery.  The full propagation latency is
+        applied once, at ingress, as on the quiet path — the per-hop
+        claims model bandwidth sharing, not extra distance.  Entered
+        only when the fabric topology is routed; latency-only fabrics
+        never reach this path.
+        """
+        env = self.env
+        wires = self.wires
+        trace = self.trace
+        route = self.fabric.route_links(self.node_id, remote.node_id)
+        if not route:
+            # Same-leaf pair: no shared fabric link beyond the endpoint
+            # NICs; identical timing to the quiet wire path.
+            yield from self._transmit_wire(qp, wr, payload, nbytes, remote)
+            return
+        latency = self.fabric.latency(self.node_id, remote.node_id)
+        egress = self.egress_for(qp)
+        ingress = remote.ingress_for(qp)
+        chunks = wires.chunks(nbytes)
+        state = {"pending": len(chunks)}
+        for chunk in chunks:
+            if env._now < qp.next_inject_time:
+                yield qp.next_inject_time - env._now
+            grant = egress.request()
+            yield grant
+            start = env._now
+            occupancy = wires.occupancy(chunk)
+            yield occupancy
+            egress.release(grant)
+            qp.next_inject_time = start + wires.spacing(chunk)
+            self.bytes_transmitted += chunk
+            if trace.enabled:
+                trace.record(start, "ib.chunk", self.node_id,
+                             qp=qp.qp_num, nbytes=chunk,
+                             occupancy=occupancy)
+            env.process(self._forward_chunk(
+                qp, wr, payload, nbytes, remote, route, occupancy, chunk,
+                latency, ingress, state))
+
+    def _forward_chunk(self, qp: QueuePair, wr: SendWR, payload, nbytes: int,
+                       remote: "NIC", route, occupancy: float, chunk: int,
+                       latency: float, ingress: IngressPort, state: dict):
+        """One chunk's hop-by-hop traversal of its route's shared links.
+
+        A chunk granted a link it had to wait for additionally pays the
+        topology's per-chunk ``arbitration`` delay before its occupancy
+        (contended-port hand-off; see
+        :class:`repro.ib.topology.RoutedDragonflyPlus`).  Solo flows
+        never wait — the sender egress already spaces chunks at line
+        rate — so the quiet routed path never pays it.
+        """
+        env = self.env
+        arbitration = self.fabric.link_arbitration
+        for link in route:
+            requested = env._now
+            grant = link.resource.request()
+            yield grant
+            if arbitration and env._now > requested:
+                yield arbitration
+            yield occupancy
+            link.resource.release(grant)
+            link.note(occupancy, chunk)
+        arrival = ingress.admit(env._now - occupancy, occupancy, latency,
+                                chunk)
+        state["pending"] -= 1
+        if state["pending"] == 0:
+            self._schedule_delivery(qp, wr, payload, nbytes, remote,
+                                    arrival, ack_latency=latency)
 
     def _transmit_loopback(self, qp: QueuePair, wr: SendWR, payload,
                            nbytes: int, remote: "NIC"):

@@ -15,17 +15,46 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.units import us
 
+#: Link-key kinds the routed topologies emit (see :meth:`Topology.route`).
+LINK_LEAF_UP = "leaf-up"
+LINK_LEAF_DOWN = "leaf-down"
+LINK_GLOBAL = "global"
+
 
 class Topology(abc.ABC):
-    """Maps a node pair to a one-way propagation latency."""
+    """Maps a node pair to a one-way propagation latency.
+
+    Latency-only topologies describe the fabric as a non-blocking
+    crossbar with structured latencies; *routed* topologies
+    additionally resolve each node pair to the sequence of shared
+    switch-level links the traffic crosses (:meth:`route`), which the
+    fabric turns into per-link contention queues.
+    """
+
+    #: True when :meth:`route` resolves pairs to shared links.  The
+    #: fabric only builds the link graph (and the NIC only takes the
+    #: routed transmit path) when this is set, so latency-only
+    #: topologies bypass the link layer entirely.
+    routed = False
 
     @abc.abstractmethod
     def latency(self, src: int, dst: int) -> float:
         """One-way latency between two distinct nodes."""
+
+    def route(self, src: int, dst: int) -> Optional[tuple]:
+        """Shared-link keys the (src, dst) path crosses, in hop order.
+
+        Latency-only topologies return None (no link graph); routed
+        topologies return a (possibly empty) tuple of hashable link
+        keys — an empty tuple means the pair shares no fabric link
+        beyond the two endpoint NICs (e.g. same leaf switch).
+        """
+        return None
 
     def describe(self) -> str:
         return type(self).__name__
@@ -94,8 +123,91 @@ class DragonflyPlus(Topology):
         return self.inter_group_latency
 
     def describe(self) -> str:
-        return (f"dragonfly+({self.nodes_per_leaf}x{self.leaves_per_group}"
-                f" per group)")
+        return (f"dragonfly+(nodes_per_leaf={self.nodes_per_leaf}, "
+                f"leaves_per_group={self.leaves_per_group}, groups=*)")
+
+
+@dataclass(frozen=True)
+class RoutedDragonflyPlus(DragonflyPlus):
+    """Dragonfly+ with explicit shared links (the fleet fabric model).
+
+    Same latency structure as :class:`DragonflyPlus`, plus per-pair
+    route resolution onto three classes of shared links:
+
+    * ``leaf-up`` — one per leaf switch, carries everything leaving
+      that leaf (toward the group spine);
+    * ``leaf-down`` — one per leaf switch, carries everything entering
+      that leaf;
+    * ``global`` — one per *ordered* group pair (global links are full
+      duplex), the spine link inter-group traffic serializes through.
+
+    Unlike the unbounded latency-only model, a routed instance has a
+    fixed ``groups`` count, so its link set is finite and the fabric
+    can build one contention queue per link up front.  Same-leaf pairs
+    cross no shared link (only the endpoint NICs).
+
+    ``arbitration`` models the per-chunk cost of a contended switch
+    egress port: when a chunk is granted a link it had to *wait* for,
+    the hand-off pays a fixed delay (VL arbitration, head-of-line
+    store-and-forward of the leading packets, credit return) before
+    the wire occupancy starts.  A solo flow never waits — the sender's
+    egress already serializes chunks at line rate — so quiet-fabric
+    timing is unchanged; under contention the cost scales with the
+    number of chunks a transport plan pushes through the hot port,
+    which is what makes many-small-messages lose to aggregation on a
+    congested fabric.
+    """
+
+    groups: int = 2
+    arbitration: float = us(8)
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.groups < 1:
+            raise ConfigError("topology needs at least one group")
+        if self.arbitration < 0:
+            raise ConfigError("negative arbitration delay")
+
+    @property
+    def routed(self) -> bool:  # type: ignore[override]
+        return True
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node capacity of the fabric."""
+        return self.groups * self.nodes_per_group
+
+    def check_node(self, node: int) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ConfigError(
+                f"node {node} outside the {self.n_nodes}-node fabric")
+
+    def link_keys(self) -> list[tuple]:
+        """Every shared link of the fabric (stable order)."""
+        n_leaves = self.groups * self.leaves_per_group
+        keys = [(LINK_LEAF_UP, leaf) for leaf in range(n_leaves)]
+        keys += [(LINK_LEAF_DOWN, leaf) for leaf in range(n_leaves)]
+        keys += [(LINK_GLOBAL, a, b)
+                 for a in range(self.groups)
+                 for b in range(self.groups) if a != b]
+        return keys
+
+    def route(self, src: int, dst: int) -> tuple:
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst or self.leaf_of(src) == self.leaf_of(dst):
+            return ()
+        hops = [(LINK_LEAF_UP, self.leaf_of(src))]
+        if self.group_of(src) != self.group_of(dst):
+            hops.append(
+                (LINK_GLOBAL, self.group_of(src), self.group_of(dst)))
+        hops.append((LINK_LEAF_DOWN, self.leaf_of(dst)))
+        return tuple(hops)
+
+    def describe(self) -> str:
+        return (f"dragonfly+routed(nodes_per_leaf={self.nodes_per_leaf}, "
+                f"leaves_per_group={self.leaves_per_group}, "
+                f"groups={self.groups})")
 
 
 #: Niagara-like instance: 2024 nodes in Dragonfly+ groups.

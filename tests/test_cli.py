@@ -79,3 +79,39 @@ def test_tuning_table_command(capsys):
 def test_unknown_aggregator_rejected():
     with pytest.raises(SystemExit):
         main(["overhead", "--aggregator", "bogus"])
+
+
+def test_fleet_rank_command(capsys):
+    assert main(["fleet", "rank", "--levels", "0,1",
+                 "--transports", "4", "--partitions", "8",
+                 "--iterations", "2", "--warmup", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "partitioned-pair ranking" in out
+    assert "bg tenants" in out
+    assert "T=4" in out
+    assert "spine util" in out
+
+
+def test_fleet_profile_command(capsys):
+    assert main(["fleet", "profile", "--jobs", "pair:2",
+                 "--background", "1", "--partitions", "8",
+                 "--iterations", "2", "--warmup", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet profile: 2 tenants" in out
+    assert "pair0" in out
+    assert "busiest links:" in out
+
+
+def test_fleet_profile_rejects_unknown_job_kind():
+    with pytest.raises(Exception):
+        main(["fleet", "profile", "--jobs", "bogus:2"])
+
+
+def test_fleet_retune_exits_by_adaptation(capsys):
+    # Too short an episode to re-converge: exit 1, summary still prints.
+    assert main(["fleet", "retune", "--quiet-rounds", "2",
+                 "--congested-rounds", "3", "--tail-rounds", "1",
+                 "--compute-us", "0"]) == 1
+    out = capsys.readouterr().out
+    assert "quiet-best plan" in out
+    assert "congested-best plan" in out

@@ -1,0 +1,120 @@
+"""Link-graph contention semantics: bypass, sharing, arbitration."""
+
+from repro.ib.fabric import Fabric
+from repro.ib.topology import DragonflyPlus, RoutedDragonflyPlus
+from repro.mem import Buffer
+from repro.mpi import Cluster
+from repro.sim import Environment
+from repro.units import KiB, us
+
+LATENCY_ONLY = DragonflyPlus(nodes_per_leaf=2, leaves_per_group=2)
+ROUTED = RoutedDragonflyPlus(nodes_per_leaf=2, leaves_per_group=2,
+                             groups=2)
+
+
+def run_pairs(topo, pairs, nbytes=512 * KiB):
+    """Concurrent one-shot transfers; returns completion time per pair."""
+    cluster = Cluster(n_nodes=8, topology=topo)
+    procs = [(cluster.add_process(node_id=a), cluster.add_process(node_id=b))
+             for a, b in pairs]
+    done = {}
+
+    def sender(proc, dst, tag):
+        yield from proc.send(Buffer(nbytes, backed=False), dest=dst,
+                             tag=tag)
+
+    def receiver(proc, src, tag, i):
+        yield from proc.recv(Buffer(nbytes, backed=False), source=src,
+                             tag=tag)
+        done[i] = proc.env.now
+
+    for i, (tx, rx) in enumerate(procs):
+        cluster.spawn(sender(tx, rx.rank, i))
+        cluster.spawn(receiver(rx, tx.rank, i, i))
+    cluster.run()
+    return done
+
+
+def test_latency_only_topology_bypasses_link_graph():
+    env = Environment()
+    fabric = Fabric(env, topology=LATENCY_ONLY)
+    assert fabric.links is None
+    assert fabric.link_arbitration == 0.0
+    assert fabric.link_stats(1.0) == {}
+
+
+def test_routed_topology_builds_every_link():
+    env = Environment()
+    fabric = Fabric(env, topology=ROUTED)
+    assert set(fabric.links) == set(ROUTED.link_keys())
+    assert fabric.link_arbitration == ROUTED.arbitration
+    # 4 leaves x (up + down) + 2 ordered global pairs.
+    assert len(fabric.links) == 10
+
+
+def test_shared_link_contention_slows_flows():
+    # (0, 4) and (2, 6) cross the same global 0->1 link from different
+    # leaves; same-leaf pairs share nothing beyond their own NICs.
+    shared = run_pairs(ROUTED, [(0, 4), (2, 6)])
+    disjoint = run_pairs(ROUTED, [(0, 1), (4, 5)])
+    assert max(shared.values()) > max(disjoint.values())
+    # Solo run of one of the shared-link flows is faster than when it
+    # contends.
+    solo = run_pairs(ROUTED, [(0, 4)])
+    assert solo[0] < max(shared.values())
+
+
+def test_arbitration_charged_only_under_contention():
+    no_arb = RoutedDragonflyPlus(nodes_per_leaf=2, leaves_per_group=2,
+                                 groups=2, arbitration=0.0)
+    # Quiet fabric: a solo flow never waits for a grant, so its timing
+    # is bit-identical whatever the arbitration delay.
+    assert run_pairs(ROUTED, [(0, 4)]) == run_pairs(no_arb, [(0, 4)])
+    # Contended flows pay it on every waited-for grant.
+    contended = run_pairs(ROUTED, [(0, 4), (2, 6)])
+    contended_free = run_pairs(no_arb, [(0, 4), (2, 6)])
+    assert max(contended.values()) > max(contended_free.values())
+
+
+def test_link_stats_account_traffic():
+    cluster = Cluster(n_nodes=8, topology=ROUTED)
+    tx = cluster.add_process(node_id=0)
+    rx = cluster.add_process(node_id=4)
+    done = {}
+
+    def sender(proc):
+        yield from proc.send(Buffer(512 * KiB, backed=False), dest=rx.rank,
+                             tag=1)
+
+    def receiver(proc):
+        yield from proc.recv(Buffer(512 * KiB, backed=False),
+                             source=tx.rank, tag=1)
+        done["t"] = proc.env.now
+
+    cluster.spawn(sender(tx))
+    cluster.spawn(receiver(rx))
+    cluster.run()
+    stats = cluster.fabric.link_stats(cluster.env.now)
+    crossed = {name for name, s in stats.items() if s["bytes"]}
+    assert crossed == {"leaf-up/0", "global/0/1", "leaf-down/2"}
+    for name in crossed:
+        assert stats[name]["bytes"] == 512 * KiB
+        assert 0 < stats[name]["utilization"] <= 1.0
+
+
+def test_same_leaf_route_skips_links():
+    cluster = Cluster(n_nodes=8, topology=ROUTED)
+    assert cluster.fabric.route_links(0, 1) == ()
+    route = cluster.fabric.route_links(0, 4)
+    assert [link.key for link in route] == [
+        ("leaf-up", 0), ("global", 0, 1), ("leaf-down", 2)]
+
+
+def test_arbitration_validation():
+    import pytest
+
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        RoutedDragonflyPlus(nodes_per_leaf=2, leaves_per_group=2,
+                            groups=2, arbitration=-us(1))

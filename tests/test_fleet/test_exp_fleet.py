@@ -1,0 +1,74 @@
+"""The fleet measurement kinds and the ext_fleet spec wiring."""
+
+import json
+
+from repro.exp.kinds import run_point
+from repro.exp.spec import Scenario
+from repro.units import KiB
+
+RANK_POINT = Scenario.make(
+    "fleet_rank", module=["fixed", {"n_transport": 4, "n_qps": 2}],
+    level=1, iterations=2, warmup=1, seed=0)
+FLEET_POINT = Scenario.make(
+    "fleet",
+    jobs=[{"name": "pair", "kind": "pair", "n_ranks": 2,
+           "n_partitions": 8, "partition_size": 64 * KiB,
+           "iterations": 2, "warmup": 1},
+          {"name": "bg", "kind": "traffic", "n_ranks": 2,
+           "traffic": {"kind": "permutation", "nbytes": 128 * KiB,
+                       "period": 4e-5, "horizon": 1e-3, "seed": 5}}],
+    placement="spread", seed=0)
+AUTOTUNE_POINT = Scenario.make(
+    "fleet_autotune",
+    autotune={"policy": "bandit", "counts": [4, 16], "deltas": [None],
+              "epsilon": 0.3, "decay": 0.9, "bandit_seed": 3,
+              "window": 4},
+    quiet_rounds=3, congested_rounds=4, tail_rounds=1, seed=1)
+
+
+def _run(point):
+    return run_point(point.as_dict())
+
+
+def test_fleet_rank_kind():
+    res = _run(RANK_POINT)
+    assert res["level"] == 1
+    assert res["mean_time"] > 0
+    assert res["spine_utilization"] > 0
+    json.dumps(res)  # flat JSON-safe metrics dict
+
+
+def test_fleet_kind():
+    res = _run(FLEET_POINT)
+    assert res["slowdowns"]["pair"] > 1.0
+    assert res["mean_iterations"]["pair"] > 0
+    assert res["spine_utilization"] > 0
+    json.dumps(res)
+
+
+def test_fleet_autotune_kind():
+    res = _run(AUTOTUNE_POINT)
+    assert "rounds" not in res  # folded into the compact trajectory
+    assert len(res["trajectory"]) == 8
+    assert res["quiet_best"] is not None
+    json.dumps(res)
+
+
+def test_kinds_are_pure_functions_of_the_scenario():
+    # The serial/parallel byte-identity contract: re-executing a point
+    # in a fresh context reproduces the result bit for bit.
+    for point in (RANK_POINT, FLEET_POINT):
+        a, b = _run(point), _run(point)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b,
+                                                           sort_keys=True)
+
+
+def test_ext_fleet_spec_points():
+    from repro.exp.profiles import FAST
+    from repro.exp.registry import get_experiment
+
+    spec = get_experiment("ext_fleet").build(FAST)
+    kinds = {p.kind for p in spec.points}
+    assert kinds == {"fleet_rank", "fleet", "fleet_autotune"}
+    # 4 designs x 3 levels + 2 mixes + 2 policies.
+    assert len(spec.points) == 16

@@ -1,0 +1,70 @@
+"""Determinism and shape of the background-traffic generators."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet.traffic import TRAFFIC_KINDS, TrafficSpec, offered_load
+from repro.units import KiB, ms, us
+
+NODES = [0, 3, 5, 6]
+
+
+@pytest.mark.parametrize("kind", TRAFFIC_KINDS)
+def test_same_seed_same_events(kind):
+    spec = TrafficSpec(kind=kind, seed=42)
+    assert offered_load(spec, NODES) == offered_load(spec, NODES)
+
+
+@pytest.mark.parametrize("kind", ["onoff", "permutation", "incast"])
+def test_different_seed_different_events(kind):
+    a = offered_load(TrafficSpec(kind=kind, seed=1), NODES)
+    b = offered_load(TrafficSpec(kind=kind, seed=2), NODES)
+    assert a != b
+
+
+def test_events_sorted_and_bounded():
+    spec = TrafficSpec(kind="onoff", horizon=ms(1), seed=7)
+    events = offered_load(spec, NODES)
+    times = [t for t, _, _, _ in events]
+    assert times == sorted(times)
+    assert all(0 <= t < spec.horizon for t in times)
+    assert all(src in NODES and dst in NODES
+               for _, src, dst, _ in events)
+    assert all(nbytes == spec.nbytes for _, _, _, nbytes in events)
+
+
+def test_permutation_no_self_sends():
+    spec = TrafficSpec(kind="permutation", period=us(50), horizon=ms(1),
+                       seed=3)
+    events = offered_load(spec, NODES)
+    assert events
+    assert all(src != dst for _, src, dst, _ in events)
+    # Every node sends in every period.
+    first_period = [e for e in events if e[0] < us(50)]
+    assert {src for _, src, _, _ in first_period} == set(NODES)
+
+
+def test_incast_single_target():
+    spec = TrafficSpec(kind="incast", seed=5)
+    events = offered_load(spec, NODES)
+    targets = {dst for _, _, dst, _ in events}
+    assert len(targets) == 1
+    target = targets.pop()
+    assert target not in {src for _, src, _, _ in events}
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        TrafficSpec(kind="nope")
+    with pytest.raises(ConfigError):
+        TrafficSpec(nbytes=0)
+    with pytest.raises(ConfigError):
+        TrafficSpec(period=0.0)
+    with pytest.raises(ConfigError):
+        offered_load(TrafficSpec(), [0])
+
+
+def test_spec_round_trips_through_dict():
+    spec = TrafficSpec(kind="incast", nbytes=64 * KiB, period=us(25),
+                       burst=3, gap=us(100), horizon=ms(2), seed=9)
+    assert TrafficSpec(**spec.as_dict()) == spec

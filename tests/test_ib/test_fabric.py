@@ -73,6 +73,33 @@ def test_negative_latency_rejected():
         fabric.set_latency(0, 1, -1e-6)
 
 
+def test_set_latency_rejects_unknown_nodes():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.add_node(0)
+    with pytest.raises(ConfigError, match="no node 9"):
+        fabric.set_latency(0, 9, 5e-6)
+    with pytest.raises(ConfigError, match="no node 9"):
+        fabric.set_latency(9, 0, 5e-6)
+    # A rejected call leaves no partial override behind.
+    fabric.add_node(9)
+    assert fabric.latency(0, 9) == NIAGARA.link.latency
+
+
+def test_set_latency_override_composes_with_topology():
+    from repro.ib.topology import DragonflyPlus
+
+    env = Environment()
+    topo = DragonflyPlus(nodes_per_leaf=2, leaves_per_group=2)
+    fabric = Fabric(env, topology=topo)
+    for n in (0, 1, 4):
+        fabric.add_node(n)
+    fabric.set_latency(0, 4, 9e-6)
+    assert fabric.latency(0, 4) == 9e-6       # override wins
+    assert fabric.latency(4, 0) == 9e-6       # both directions
+    assert fabric.latency(0, 1) == topo.latency(0, 1)  # others untouched
+
+
 def test_node_address_value_object():
     a = NodeAddress(node_id=1, qp_num=42)
     b = NodeAddress(node_id=1, qp_num=42)

@@ -4,7 +4,12 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.ib.fabric import Fabric
-from repro.ib.topology import DragonflyPlus, NIAGARA_TOPOLOGY, UniformTopology
+from repro.ib.topology import (
+    DragonflyPlus,
+    NIAGARA_TOPOLOGY,
+    RoutedDragonflyPlus,
+    UniformTopology,
+)
 from repro.sim import Environment
 from repro.units import us
 
@@ -93,3 +98,52 @@ def test_topology_changes_end_to_end_latency():
 def test_niagara_topology_defaults():
     assert NIAGARA_TOPOLOGY.nodes_per_group == 192
     assert "dragonfly" in NIAGARA_TOPOLOGY.describe()
+
+
+def test_describe_names_geometry():
+    assert UniformTopology(pair_latency=us(1)).describe() == "uniform(1e-06)"
+    flat = DragonflyPlus(nodes_per_leaf=4, leaves_per_group=3)
+    assert flat.describe() == \
+        "dragonfly+(nodes_per_leaf=4, leaves_per_group=3, groups=*)"
+    routed = RoutedDragonflyPlus(nodes_per_leaf=2, leaves_per_group=2,
+                                 groups=3)
+    assert routed.describe() == \
+        "dragonfly+routed(nodes_per_leaf=2, leaves_per_group=2, groups=3)"
+
+
+def test_latency_only_topologies_do_not_route():
+    assert UniformTopology().routed is False
+    assert UniformTopology().route(0, 1) is None
+    assert DragonflyPlus().route(0, 999) is None
+
+
+def test_routed_dragonfly_routes():
+    topo = RoutedDragonflyPlus(nodes_per_leaf=2, leaves_per_group=2,
+                               groups=2)
+    assert topo.routed is True
+    assert topo.n_nodes == 8
+    assert topo.route(0, 1) == ()          # same leaf: endpoint NICs only
+    assert topo.route(0, 2) == (("leaf-up", 0), ("leaf-down", 1))
+    assert topo.route(0, 4) == (("leaf-up", 0), ("global", 0, 1),
+                                ("leaf-down", 2))
+    assert topo.route(4, 0) == (("leaf-up", 2), ("global", 1, 0),
+                                ("leaf-down", 0))
+    # Every hop of every route names a link the fabric builds.
+    keys = set(topo.link_keys())
+    assert len(keys) == 10
+    for src in range(8):
+        for dst in range(8):
+            assert set(topo.route(src, dst)) <= keys
+
+
+def test_routed_dragonfly_validation():
+    topo = RoutedDragonflyPlus(nodes_per_leaf=2, leaves_per_group=2,
+                               groups=2)
+    with pytest.raises(ConfigError):
+        topo.check_node(8)
+    with pytest.raises(ConfigError):
+        topo.route(0, 8)
+    with pytest.raises(ConfigError):
+        RoutedDragonflyPlus(groups=0)
+    with pytest.raises(ConfigError):
+        RoutedDragonflyPlus(arbitration=-1.0)

@@ -29,7 +29,7 @@ from repro.autotune.policy import (
     StaticPolicy,
     candidate_plans,
 )
-from repro.autotune.store import TuningStore, workload_key
+from repro.autotune.store import PlanStore, TuningStore, workload_key
 
 __all__ = [
     "AdaptiveAggregator",
@@ -40,6 +40,7 @@ __all__ = [
     "IterationObservation",
     "PlanChoice",
     "PlanMutationPolicy",
+    "PlanStore",
     "Policy",
     "PolicyBuilder",
     "plan_to_choice",

@@ -31,7 +31,7 @@ from repro.autotune.policy import (
     StaticPolicy,
     candidate_plans,
 )
-from repro.autotune.store import TuningStore, workload_key
+from repro.autotune.store import PlanStore, workload_key
 
 #: (n_user, partition_size, config) -> Policy, called once per request.
 PolicyBuilder = Callable[[int, int, ClusterConfig], Policy]
@@ -41,7 +41,7 @@ class AdaptiveAggregator(Aggregator):
     """Closed-loop aggregation: plan per round, not per request."""
 
     def __init__(self, policy_builder: PolicyBuilder,
-                 store: Optional[TuningStore] = None,
+                 store: Optional[PlanStore] = None,
                  config_tag: str = "", key_extra: Optional[dict] = None,
                  tracker_alpha: float = 0.3, tracker_window: int = 32):
         self.policy_builder = policy_builder
@@ -109,8 +109,14 @@ def _seed_params(p: dict):
 
 
 def build_autotuner(params: Optional[dict] = None,
-                    store: Optional[TuningStore] = None) -> AdaptiveAggregator:
+                    store: Optional[PlanStore] = None) -> AdaptiveAggregator:
     """Build an :class:`AdaptiveAggregator` from a JSON-safe dict.
+
+    ``store`` is anything speaking the
+    :class:`~repro.autotune.store.PlanStore` protocol — a local
+    :class:`~repro.autotune.TuningStore` or a
+    :class:`repro.serve.ServeClient` resolving plans through the
+    tuning service.
 
     ``params["policy"]`` selects the policy:
 

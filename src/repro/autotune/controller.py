@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.autotune.observe import ArrivalTracker, IterationObservation
 from repro.autotune.policy import PlanChoice, Policy
-from repro.autotune.store import TuningStore
+from repro.autotune.store import PlanStore
 
 
 @dataclass
@@ -45,7 +45,7 @@ class AutotuneController:
 
     def __init__(self, policy: Policy,
                  tracker: Optional[ArrivalTracker] = None,
-                 store: Optional[TuningStore] = None,
+                 store: Optional[PlanStore] = None,
                  store_key: Optional[dict] = None,
                  store_meta: Optional[dict] = None):
         if store is not None and store_key is None:

@@ -7,6 +7,13 @@ result cache keys scenarios: the workload descriptor is canonicalized
 describe its workload the same way finds the same entry — a cheap,
 incremental replacement for the 23-hour brute-force table that grows
 one converged run at a time.
+
+The store is deliberately dumb: one process, one directory, no
+versions.  The serving layer (:mod:`repro.serve`) shards many of these
+directories behind a cache and adds versioned concurrent-writer
+safety; anything written there stays readable here (the shard files
+use this module's schema), which is what keeps service-served plans
+bit-identical to direct store reads.
 """
 
 from __future__ import annotations
@@ -16,11 +23,29 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Protocol, Union, runtime_checkable
 
 from repro.autotune.policy import PlanChoice
+from repro.errors import ReproError
 
 SCHEMA = "repro-autotune-store/v1"
+
+
+@runtime_checkable
+class PlanStore(Protocol):
+    """What the autotuner asks of a plan store (structural).
+
+    :class:`TuningStore` is the canonical implementation; the serving
+    layer's :class:`repro.serve.ServeClient` is another — anything
+    speaking these two methods plugs into
+    :func:`~repro.autotune.build_autotuner` /
+    :class:`~repro.autotune.AdaptiveAggregator`.
+    """
+
+    def get(self, key: dict) -> Optional[PlanChoice]: ...
+
+    def put(self, key: dict, choice: PlanChoice,
+            meta: Optional[dict] = None): ...
 
 
 def workload_key(n_user: int, message_size: int,
@@ -37,11 +62,16 @@ def workload_key(n_user: int, message_size: int,
     return key
 
 
-def _digest(key: dict) -> str:
+def entry_digest(key: dict) -> str:
+    """Content address of a tuning key (the entry's file stem)."""
     # Late import: repro.exp imports benchmarks which import core, and
     # core.aggregators is imported by this package's policy module.
     from repro.exp.spec import canonical
     return hashlib.sha256(canonical(key).encode()).hexdigest()[:24]
+
+
+#: Backwards-compatible private alias (pre-serve callers).
+_digest = entry_digest
 
 
 class TuningStore:
@@ -50,22 +80,48 @@ class TuningStore:
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Corrupt or alien-schema files seen by reads of this handle
+        #: (cumulative).  Surfaced by ``repro-bench autotune`` so store
+        #: rot is visible instead of silently reading as "never tuned".
+        self.corrupt_entries = 0
 
     def _path(self, key: dict) -> Path:
-        return self.root / f"{_digest(key)}.json"
+        return self.root / f"{entry_digest(key)}.json"
+
+    def _load(self, path: Path) -> Optional[dict]:
+        """Parse one entry file; None (and count) when corrupt.
+
+        A *missing* file is a plain miss, not corruption — only a file
+        that exists but cannot be read as a schema-valid entry counts.
+        """
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.corrupt_entries += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self.corrupt_entries += 1
+            return None
+        if payload.get("schema") != SCHEMA:
+            self.corrupt_entries += 1
+            return None
+        return payload
 
     def get(self, key: dict) -> Optional[PlanChoice]:
         """The stored plan for ``key``, or None (missing/corrupt)."""
-        path = self._path(key)
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if payload.get("schema") != SCHEMA:
+        payload = self._load(self._path(key))
+        if payload is None:
             return None
         try:
             return PlanChoice.from_dict(payload["plan"])
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError, ReproError):
+            # ReproError covers schema-valid files holding an invalid
+            # plan (e.g. a non-power-of-two transport count).
+            self.corrupt_entries += 1
             return None
 
     def put(self, key: dict, choice: PlanChoice,
@@ -93,17 +149,27 @@ class TuningStore:
         return path
 
     def entries(self) -> list[dict]:
-        """Every readable entry's full payload (sorted by digest)."""
+        """Every readable entry's full payload (sorted by digest).
+
+        A full read: every file is parsed and schema-checked (corrupt
+        ones are counted and skipped).  Use :meth:`count` when only the
+        entry count is needed.
+        """
         out = []
         for path in sorted(self.root.glob("*.json")):
-            try:
-                payload = json.loads(path.read_text())
-            except (OSError, ValueError):
-                continue
-            if payload.get("schema") != SCHEMA:
-                continue
-            out.append(payload)
+            payload = self._load(path)
+            if payload is not None:
+                out.append(payload)
         return out
+
+    def count(self) -> int:
+        """Cheap entry count: files on disk, no JSON parse.
+
+        Counts every ``*.json`` file, including any corrupt ones — the
+        fast path for progress lines and CLI summaries.  ``entries()``
+        remains the full (validating) read.
+        """
+        return sum(1 for _ in self.root.glob("*.json"))
 
     def lookup(self, n_user: int, message_size: int,
                config_tag: str = "", **extra) -> Optional[PlanChoice]:
@@ -112,4 +178,4 @@ class TuningStore:
                                      config_tag, **extra))
 
     def __len__(self) -> int:
-        return len(self.entries())
+        return self.count()

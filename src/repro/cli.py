@@ -12,6 +12,9 @@ Installed as ``repro-bench`` (or ``python -m repro.cli``)::
     repro-bench tuning-table --n-user 16 --sizes 64KiB,1MiB
     repro-bench autotune tune --sizes 256KiB,2MiB --store results/store
     repro-bench autotune show --store results/store
+    repro-bench serve stats --root results/serve-store
+    repro-bench serve warm --root results/serve-store --source results/store
+    repro-bench serve bench --clients 400 --requests 4000 --zipf 1.1
     repro-bench chaos --runs 50 --seed 7 --ladder --bundle-dir results/chaos
     repro-bench fleet rank --levels 0,1,2 --transports 4,8,16
     repro-bench fleet profile --jobs pair:2,halo:3 --background 1
@@ -520,7 +523,18 @@ def cmd_autotune_tune(args) -> int:
     print(format_table(
         ["message size", "transport", "QPs", "delta", "round time", ""],
         rows))
+    _warn_corrupt(store)
     return 0
+
+
+def _warn_corrupt(store) -> None:
+    """Surface store rot: corrupt entries read as 'never tuned'."""
+    if store.corrupt_entries:
+        print(f"warning: {store.corrupt_entries} corrupt or "
+              f"alien-schema entr"
+              f"{'y' if store.corrupt_entries == 1 else 'ies'} in "
+              f"{store.root} (skipped; delete or re-tune)",
+              file=sys.stderr)
 
 
 def cmd_autotune_show(args) -> int:
@@ -531,6 +545,7 @@ def cmd_autotune_show(args) -> int:
     entries = store.entries()
     if not entries:
         print(f"store {store.root} is empty")
+        _warn_corrupt(store)
         return 0
     rows = []
     for payload in entries:
@@ -547,6 +562,68 @@ def cmd_autotune_show(args) -> int:
     print(format_table(
         ["config", "user partitions", "message size",
          "transport", "QPs", "delta"], rows))
+    _warn_corrupt(store)
+    return 0
+
+
+def cmd_serve_stats(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.serve import TuningService
+
+    service = TuningService(args.root)
+    stats = service.stats()
+    rows = [
+        ["root", stats["root"]],
+        ["shards", str(stats["n_shards"])],
+        ["entries", str(stats["entries"])],
+        ["shard counts", " ".join(str(c) for c in stats["shard_counts"])],
+        ["per-shard bound",
+         str(stats["max_entries_per_shard"]) if
+         stats["max_entries_per_shard"] else "unbounded"],
+        ["commits", str(stats["commits"])],
+        ["conflicts", str(stats["conflicts"])],
+        ["corrupt entries", str(stats["corrupt_entries"])],
+    ]
+    print(format_table(["serve store", "value"], rows))
+    _warn_corrupt(service.store)
+    return 0
+
+
+def cmd_serve_warm(args) -> int:
+    from repro.serve import TuningService
+
+    service = TuningService(args.root)
+    imported = service.warm(args.source)
+    total = service.store.count()
+    print(f"warmed {service.store.root} from {args.source}: "
+          f"{imported} imported, {total} total entries")
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.serve.bench import run_serve_bench
+
+    res = run_serve_bench(
+        n_clients=args.clients, n_requests=args.requests,
+        n_keys=args.keys, zipf_s=args.zipf, seed=args.seed,
+        n_shards=args.shards,
+        max_entries_per_shard=args.max_per_shard)
+    rows = [
+        ["clients / requests", f"{res['n_clients']} / "
+                               f"{res['n_requests']}"],
+        ["keys (zipf s)", f"{res['n_keys']} ({res['zipf_s']})"],
+        ["overall hit rate", f"{res['hit_rate']:.1%}"],
+        ["warm-cache hit rate", f"{res['warm_hit_rate']:.1%}"],
+        ["negative-cache hits", str(res["negative_hits"])],
+        ["commits / conflicts",
+         f"{res['commits']} / {res['conflicts']}"],
+        ["store evictions", str(res["store_evictions"])],
+        ["p50 / p99 lookup",
+         f"{res['p50_latency_us']:.0f} / "
+         f"{res['p99_latency_us']:.0f} us"],
+    ]
+    print(format_table(["serve bench", "value"], rows))
     return 0
 
 
@@ -810,6 +887,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default="results/autotune-store",
                    help="tuning store directory (default: %(default)s)")
     p.set_defaults(func=cmd_autotune_show)
+
+    serve = sub.add_parser(
+        "serve", help="tuning-as-a-service plan server (repro.serve)")
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    p = serve_sub.add_parser(
+        "stats", help="summarize a serve store root (shards, entries)")
+    p.add_argument("--root", default="results/serve-store",
+                   help="serve store root (default: %(default)s)")
+    p.set_defaults(func=cmd_serve_stats)
+
+    p = serve_sub.add_parser(
+        "warm", help="bulk-import a tuning store into a serve root")
+    p.add_argument("--root", default="results/serve-store",
+                   help="serve store root (default: %(default)s)")
+    p.add_argument("--source", required=True,
+                   help="flat TuningStore directory (or sharded root) "
+                        "to import")
+    p.set_defaults(func=cmd_serve_warm)
+
+    p = serve_sub.add_parser(
+        "bench", help="seeded synthetic client traffic (Zipf keys, "
+                      "mixed get/commit, bursty arrivals)")
+    p.add_argument("--clients", type=int, default=400)
+    p.add_argument("--requests", type=int, default=4000)
+    p.add_argument("--keys", type=int, default=64)
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="Zipf exponent of the key popularity "
+                        "(default: %(default)s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=8)
+    p.add_argument("--max-per-shard", type=int, default=0,
+                   help="entries bound per shard, 0 = unbounded "
+                        "(default: %(default)s)")
+    p.set_defaults(func=cmd_serve_bench)
 
     plan = sub.add_parser(
         "plan", help="communication-plan IR per experiment (repro.plan)")

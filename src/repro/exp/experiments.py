@@ -1249,3 +1249,143 @@ def _build_ext_fleet(profile: Profile) -> ExperimentSpec:
     if profile.name == "paper":
         return ext_fleet_spec(rank_iter={"iterations": 10, "warmup": 3})
     return ext_fleet_spec(rank_iter={"iterations": 6, "warmup": 2})
+
+
+# ----------------------------------------------------------- ext_serve
+
+#: Synthetic service traffic (fast-profile scale in parentheses).
+SERVE_CLIENTS = 2000
+SERVE_REQUESTS = 20000
+SERVE_CLIENTS_FAST = 400
+SERVE_REQUESTS_FAST = 4000
+SERVE_KEYS = 64
+SERVE_ZIPF_S = 1.1
+#: Eviction-pressure variant: tiny shard bound forces the
+#: confidence-weighted LRU to work.
+SERVE_EVICT_BOUND = 4
+SERVE_EVICT_SHARDS = 4
+
+
+def ext_serve_spec(n_clients=SERVE_CLIENTS, n_requests=SERVE_REQUESTS,
+                   stress_writers=4, stress_puts=25, cas_puts=15,
+                   fleet_iters=24) -> ExperimentSpec:
+    """The tuning service under fleet-shaped load.
+
+    Four probes: (a) the serving benchmark — seeded synthetic clients
+    with Zipf keys, mixed get/commit, bursty arrivals — measuring the
+    cache hit rate and modeled p50/p99 lookup latency; (b) the same
+    traffic against a tightly bounded store, exercising the
+    confidence-weighted eviction path; (c) the multi-process writer
+    stress in both confident-overwrite and compare-and-swap modes,
+    whose torn/lost invariants must hold exactly; (d) two fleet
+    tenants resolving plans through the service — the warm tenant must
+    pin the cold tenant's committed plan (no exploration) and the
+    served plan must be bit-identical to a direct store read.
+
+    Latency series are *modeled* (fixed service costs, per-shard FIFO
+    queueing), so every series value is a deterministic function of
+    the seed; the genuinely nondeterministic stress diagnostics
+    (conflict counts, audit read counts) stay out of the series.
+    """
+    bench = Scenario.make(
+        "serve_bench", n_clients=n_clients, n_requests=n_requests,
+        n_keys=SERVE_KEYS, zipf_s=SERVE_ZIPF_S, seed=7)
+    evict = Scenario.make(
+        "serve_bench", n_clients=max(n_clients // 2, 8),
+        n_requests=max(n_requests // 2, 64), n_keys=SERVE_KEYS,
+        zipf_s=SERVE_ZIPF_S, seed=7, n_shards=SERVE_EVICT_SHARDS,
+        max_entries_per_shard=SERVE_EVICT_BOUND,
+        cache_capacity=SERVE_EVICT_SHARDS * SERVE_EVICT_BOUND)
+    stress = Scenario.make(
+        "serve_stress", n_writers=stress_writers, n_puts=stress_puts,
+        mode="confident")
+    stress_cas = Scenario.make(
+        "serve_stress", n_writers=stress_writers, n_puts=cas_puts,
+        mode="cas")
+    fleet = Scenario.make("serve_fleet", iterations=fleet_iters, seed=0)
+
+    def _integrity(r):
+        return 1.0 if (r["lost_updates"] == 0
+                       and r["torn_reads"] == 0) else 0.0
+
+    def collect(res):
+        b, e, f = res[bench], res[evict], res[fleet]
+        cold = f["tenant_mean_iterations"][0]
+        warm = f["tenant_mean_iterations"][-1]
+        series = {
+            "warm-cache hit rate": {n_requests: b["warm_hit_rate"]},
+            "overall hit rate": {n_requests: b["hit_rate"]},
+            "p50 lookup latency (us)": {
+                n_requests: b["p50_latency_us"]},
+            "p99 lookup latency (us)": {
+                n_requests: b["p99_latency_us"]},
+            "bounded-store hit rate": {
+                e["n_requests"]: e["hit_rate"]},
+            "stress integrity (confident)": {
+                stress_writers: _integrity(res[stress])},
+            "stress integrity (cas)": {
+                stress_writers: _integrity(res[stress_cas])},
+            "served plan bit-identical": {
+                fleet_iters: 1.0 if f["bit_identical"] else 0.0},
+            "warm tenant speedup": {fleet_iters: cold / warm},
+        }
+        return {
+            "series": series,
+            "bench": b,
+            "eviction": {
+                "store_evictions": e["store_evictions"],
+                "cache_evictions": e["cache_evictions"],
+                "entries": e["entries"],
+                "hit_rate": e["hit_rate"],
+            },
+            # Diagnostics only: scheduling-dependent, never compared.
+            "stress": {
+                "confident": res[stress],
+                "cas": res[stress_cas],
+            },
+            "fleet": f,
+        }
+
+    def report(payload):
+        b = payload["bench"]
+        e = payload["eviction"]
+        sc = payload["stress"]["confident"]
+        sx = payload["stress"]["cas"]
+        f = payload["fleet"]
+        rows = [
+            ["clients / requests",
+             f"{b['n_clients']} / {b['n_requests']}"],
+            ["warm-cache hit rate", f"{b['warm_hit_rate']:.1%}"],
+            ["overall hit rate", f"{b['hit_rate']:.1%}"],
+            ["p50 / p99 lookup",
+             f"{b['p50_latency_us']:.0f} / {b['p99_latency_us']:.0f} us"],
+            ["commit conflicts (CAS)", str(b["conflicts"])],
+            ["bounded store: evictions",
+             f"{e['store_evictions']} (kept {e['entries']})"],
+            ["bounded store: hit rate", f"{e['hit_rate']:.1%}"],
+            ["stress confident: lost/torn",
+             f"{sc['lost_updates']}/{sc['torn_reads']} "
+             f"({sc['total_commits']} commits)"],
+            ["stress cas: lost/torn",
+             f"{sx['lost_updates']}/{sx['torn_reads']} "
+             f"({sx['total_conflicts']} conflicts)"],
+            ["fleet: warm tenant pinned",
+             "yes" if f["warm_skipped_exploration"] else "NO"],
+            ["fleet: served == direct read",
+             "yes" if f["bit_identical"] else "NO"],
+        ]
+        return format_table(["serve", "value"], rows)
+
+    return ExperimentSpec([bench, evict, stress, stress_cas, fleet],
+                          collect, report,
+                          Metric("warm-cache hit rate"))
+
+
+@register("ext_serve", "Extension: tuning-as-a-service — sharded "
+                       "store, cache, concurrent writers")
+def _build_ext_serve(profile: Profile) -> ExperimentSpec:
+    if profile.name == "paper":
+        return ext_serve_spec()
+    return ext_serve_spec(n_clients=SERVE_CLIENTS_FAST,
+                          n_requests=SERVE_REQUESTS_FAST,
+                          stress_writers=3, stress_puts=10, cas_puts=8)

@@ -292,3 +292,66 @@ def _table1(p: dict) -> dict:
 
     return {"table": {str(size): n
                       for size, n in generate_table1().items()}}
+
+
+@kind("serve_bench")
+def _serve_bench(p: dict) -> dict:
+    from repro.serve.bench import run_serve_bench
+
+    # The service runs out of a temporary directory created and
+    # destroyed inside the call, so the point stays a pure function of
+    # its scenario (nothing persists between points or processes).
+    return run_serve_bench(
+        n_clients=p["n_clients"], n_requests=p["n_requests"],
+        n_keys=p.get("n_keys", 64), zipf_s=p.get("zipf_s", 1.1),
+        p_commit=p.get("p_commit", 0.08),
+        burst_len=p.get("burst_len", 32), seed=p.get("seed", 0),
+        n_shards=p.get("n_shards", 8),
+        cache_capacity=p.get("cache_capacity", 1024),
+        negative_ttl=p.get("negative_ttl", 256),
+        max_entries_per_shard=p.get("max_entries_per_shard", 0))
+
+
+@kind("serve_stress")
+def _serve_stress(p: dict) -> dict:
+    import tempfile
+
+    from repro.serve.stress import run_multiwriter_stress
+
+    # Real writer *processes* race on one entry, so the conflict and
+    # audit-read counts depend on OS scheduling.  The invariants
+    # (torn_reads == 0, lost_updates == 0, total_commits) are
+    # deterministic; only those belong in an experiment's series.
+    with tempfile.TemporaryDirectory(prefix="repro-serve-stress-") as tmp:
+        res = run_multiwriter_stress(
+            tmp, n_writers=p["n_writers"], n_puts=p["n_puts"],
+            mode=p.get("mode", "confident"),
+            n_shards=p.get("n_shards", 4))
+    res.pop("writers")
+    return res
+
+
+@kind("serve_fleet")
+def _serve_fleet(p: dict) -> dict:
+    import tempfile
+
+    from repro.serve.fleet import run_served_tenants
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-fleet-") as tmp:
+        res = run_served_tenants(
+            tmp, autotune_params=p.get("autotune"),
+            n_tenants=p.get("n_tenants", 2),
+            n_partitions=p.get("n_partitions", 16),
+            partition_size=p.get("partition_size", 64 * 1024),
+            iterations=p["iterations"], seed=p.get("seed", 0),
+            n_shards=p.get("n_shards", 4), config=_config(p))
+    return {
+        "bit_identical": res["bit_identical"],
+        "warm_skipped_exploration": res["warm_skipped_exploration"],
+        "served_plan": res["served_plan"],
+        "tenant_explored": [t["explored"] for t in res["tenants"]],
+        "tenant_mean_iterations": [t["mean_iteration"]
+                                   for t in res["tenants"]],
+        "commits": res["service"]["commits"],
+        "conflicts": res["service"]["conflicts"],
+    }

@@ -1,0 +1,356 @@
+"""The sharded backend: many ``TuningStore`` directories, one address.
+
+Entries are routed to a shard by a prefix of their content digest
+(:func:`repro.autotune.store.entry_digest`), so the shard of a key is a
+pure function of the key — any process, thread, or service replica
+computes the same route with no coordination.  Each shard directory is
+a plain :class:`~repro.autotune.TuningStore` layout (same schema, same
+file naming), which keeps two properties the rest of the repo depends
+on:
+
+* a service-served plan is **bit-identical** to what a direct
+  ``TuningStore(shard_dir).get(key)`` returns (goldens unchanged);
+* store tooling (``repro-bench autotune show``) works on a shard.
+
+On top of that layout this module adds what a *shared* backend needs:
+
+* **monotonic versions** — every entry carries ``"version": n``; each
+  successful commit bumps it by one under a per-entry advisory lock.
+* **compare-and-swap** — a commit carrying ``expect_version`` is
+  rejected (no write, conflict counted) when the entry has moved on;
+  a commit without one is a *confident overwrite*: the
+  last-confident-writer wins, but still with a monotonic version so
+  lost updates are detectable.
+* **atomic replace** — readers never see a torn entry: writes land in
+  a temp file and ``os.replace`` into place (the multi-process stress
+  test in :mod:`repro.serve.stress` holds this to zero torn reads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.autotune.policy import PlanChoice
+from repro.autotune.store import SCHEMA, entry_digest
+from repro.errors import ConfigError, ReproError
+
+try:  # POSIX advisory locks; the CI and dev containers are Linux.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+#: Manifest file pinning the shard geometry of a store root.
+MANIFEST = "serve.json"
+MANIFEST_SCHEMA = "repro-serve-store/v1"
+
+
+@dataclass(frozen=True)
+class ServedEntry:
+    """One versioned entry as the backend returned it."""
+
+    key: dict
+    choice: PlanChoice
+    version: int
+    meta: dict
+
+    def as_dict(self) -> dict:
+        return {"key": self.key, "plan": self.choice.as_dict(),
+                "version": self.version, "meta": dict(self.meta)}
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """Outcome of one commit attempt.
+
+    ``committed`` is False exactly when a compare-and-swap lost the
+    race; ``entry`` is then the *current* (winning) entry so the caller
+    can refresh and retry.
+    """
+
+    entry: ServedEntry
+    committed: bool
+
+    @property
+    def conflict(self) -> bool:
+        return not self.committed
+
+
+class ShardedStore:
+    """Digest-prefix shards of versioned, TuningStore-compatible entries."""
+
+    #: Shard count used for a fresh root when none is requested.
+    DEFAULT_SHARDS = 8
+
+    def __init__(self, root: Union[str, Path],
+                 n_shards: Optional[int] = None):
+        """Open (or create) a sharded root.
+
+        ``n_shards=None`` adopts the count pinned in the root's
+        manifest (or :data:`DEFAULT_SHARDS` for a fresh root); an
+        explicit count must match an existing manifest.
+        """
+        if n_shards is not None and n_shards < 1:
+            raise ConfigError(f"need at least one shard, got {n_shards}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.n_shards = self._pin_manifest(n_shards)
+        #: Corrupt or alien-schema files seen by this handle's reads.
+        self.corrupt_entries = 0
+        #: Compare-and-swap rejections served by this handle.
+        self.conflicts = 0
+        #: Successful commits through this handle.
+        self.commits = 0
+
+    # -- layout ---------------------------------------------------------
+
+    def _pin_manifest(self, n_shards: Optional[int]) -> int:
+        """Persist (or verify) the root's shard count.
+
+        The shard of a key depends on ``n_shards``; reopening a root
+        with a different count would route keys to the wrong shard, so
+        the first opener wins and later mismatches are hard errors.
+        """
+        path = self.root / MANIFEST
+        try:
+            manifest = json.loads(path.read_text())
+        except FileNotFoundError:
+            manifest = None
+        except (OSError, ValueError) as exc:
+            raise ConfigError(f"unreadable shard manifest {path}: {exc}")
+        if manifest is None:
+            pinned = (n_shards if n_shards is not None
+                      else self.DEFAULT_SHARDS)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump({"schema": MANIFEST_SCHEMA,
+                           "n_shards": pinned}, fh)
+                fh.write("\n")
+            os.replace(tmp, path)
+            return pinned
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise ConfigError(
+                f"{path} is not a serve-store manifest "
+                f"(schema {manifest.get('schema')!r})")
+        pinned = int(manifest["n_shards"])
+        if n_shards is not None and pinned != n_shards:
+            raise ConfigError(
+                f"store {self.root} was created with {pinned} shards; "
+                f"reopen with n_shards={pinned} (got {n_shards})")
+        return pinned
+
+    def shard_of(self, key: dict) -> int:
+        """The shard index ``key`` routes to (pure function of the key)."""
+        return self.shard_of_digest(entry_digest(key))
+
+    def shard_of_digest(self, digest: str) -> int:
+        return int(digest[:8], 16) % self.n_shards
+
+    def shard_root(self, index: int) -> Path:
+        """The shard directory (a plain TuningStore layout), created."""
+        path = self.root / f"shard-{index:02d}"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def path_for(self, key: dict) -> Path:
+        digest = entry_digest(key)
+        return self.shard_root(self.shard_of_digest(digest)) \
+            / f"{digest}.json"
+
+    @contextmanager
+    def _entry_lock(self, path: Path):
+        """Per-entry advisory write lock (readers stay lock-free)."""
+        lock_path = path.with_suffix(".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    # -- reads ----------------------------------------------------------
+
+    def _load(self, path: Path) -> Optional[dict]:
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.corrupt_entries += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self.corrupt_entries += 1
+            return None
+        if payload.get("schema") != SCHEMA:
+            self.corrupt_entries += 1
+            return None
+        return payload
+
+    def _entry(self, payload: dict) -> Optional[ServedEntry]:
+        try:
+            return ServedEntry(
+                key=payload["key"],
+                choice=PlanChoice.from_dict(payload["plan"]),
+                version=int(payload.get("version", 1)),
+                meta=payload.get("meta") or {})
+        except (KeyError, TypeError, ValueError, ReproError):
+            self.corrupt_entries += 1
+            return None
+
+    def read(self, key: dict) -> Optional[ServedEntry]:
+        """The current versioned entry for ``key`` (None = miss)."""
+        payload = self._load(self.path_for(key))
+        if payload is None:
+            return None
+        return self._entry(payload)
+
+    def get(self, key: dict) -> Optional[PlanChoice]:
+        """TuningStore-compatible read (plan only)."""
+        entry = self.read(key)
+        return entry.choice if entry is not None else None
+
+    # -- writes ---------------------------------------------------------
+
+    def _write(self, path: Path, key: dict, choice: PlanChoice,
+               meta: dict, version: int) -> None:
+        payload = {
+            "schema": SCHEMA,
+            "key": key,
+            "plan": choice.as_dict(),
+            "meta": meta,
+            "version": version,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def commit(self, key: dict, choice: PlanChoice,
+               meta: Optional[dict] = None,
+               expect_version: Optional[int] = None) -> CommitResult:
+        """Write ``choice`` under ``key`` with version discipline.
+
+        Without ``expect_version`` this is a confident overwrite (the
+        version still advances monotonically).  With one, the write is
+        a compare-and-swap: it only lands when the current version
+        matches (an absent entry is version 0); otherwise nothing is
+        written and the current entry is returned with
+        ``committed=False``.
+        """
+        path = self.path_for(key)
+        with self._entry_lock(path):
+            payload = self._load(path)
+            current = self._entry(payload) if payload is not None else None
+            current_version = current.version if current is not None else 0
+            if (expect_version is not None
+                    and current_version != expect_version):
+                self.conflicts += 1
+                if current is None:
+                    # The entry vanished (evicted/invalidated) under a
+                    # CAS writer: surface version 0 so the caller can
+                    # re-commit from scratch.
+                    current = ServedEntry(key=key, choice=choice,
+                                          version=0, meta={})
+                return CommitResult(entry=current, committed=False)
+            entry = ServedEntry(key=key, choice=choice,
+                                version=current_version + 1,
+                                meta=dict(meta or {}))
+            self._write(path, key, choice, entry.meta, entry.version)
+            self.commits += 1
+            return CommitResult(entry=entry, committed=True)
+
+    def put(self, key: dict, choice: PlanChoice,
+            meta: Optional[dict] = None) -> Path:
+        """TuningStore-compatible confident write."""
+        self.commit(key, choice, meta=meta)
+        return self.path_for(key)
+
+    def delete(self, key: dict) -> bool:
+        """Remove ``key``'s entry (and its lock file); True if it existed."""
+        return self._delete_path(self.path_for(key))
+
+    def _delete_path(self, path: Path) -> bool:
+        with self._entry_lock(path):
+            try:
+                os.unlink(path)
+                existed = True
+            except FileNotFoundError:
+                existed = False
+        try:
+            os.unlink(path.with_suffix(".lock"))
+        except FileNotFoundError:
+            pass
+        return existed
+
+    # -- enumeration ----------------------------------------------------
+
+    def shard_digests(self, index: int) -> list[str]:
+        """Digests stored in one shard (cheap: file names, no parse)."""
+        return sorted(p.stem for p in self.shard_root(index).glob("*.json"))
+
+    def count_shard(self, index: int) -> int:
+        return sum(1 for _ in self.shard_root(index).glob("*.json"))
+
+    def count(self) -> int:
+        """Total entries across shards (cheap, no parse)."""
+        return sum(self.count_shard(i) for i in range(self.n_shards))
+
+    def entries(self) -> list[dict]:
+        """Every readable entry payload, shard-major, digest order."""
+        out = []
+        for i in range(self.n_shards):
+            for digest in self.shard_digests(i):
+                payload = self._load(self.shard_root(i)
+                                     / f"{digest}.json")
+                if payload is not None:
+                    out.append(payload)
+        return out
+
+    def iter_entries(self) -> Iterator[ServedEntry]:
+        for payload in self.entries():
+            entry = self._entry(payload)
+            if entry is not None:
+                yield entry
+
+    def purge_plan_space(self, plan_space_digest: str) -> int:
+        """Delete every entry keyed to one ``plan_space`` digest.
+
+        The plan-IR digest of the searched plan space (PR7) is part of
+        every autotune store key; when a policy's space changes, its
+        old digest identifies exactly the entries that can never be
+        looked up again.  Returns the number of entries removed.
+        """
+        removed = 0
+        for i in range(self.n_shards):
+            shard = self.shard_root(i)
+            for digest in self.shard_digests(i):
+                path = shard / f"{digest}.json"
+                payload = self._load(path)
+                if payload is None:
+                    continue
+                key = payload.get("key") or {}
+                if key.get("plan_space") == plan_space_digest:
+                    if self._delete_path(path):
+                        removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return self.count()

@@ -1,0 +1,59 @@
+"""TuningStore counting and corruption visibility (ISSUE 10 satellites)."""
+
+import json
+
+from repro.autotune import TuningStore, workload_key
+from repro.autotune.policy import PlanChoice
+
+
+def key(i=0):
+    return workload_key(32, 32 * 4096, f"cfg{i}", plan_space="s")
+
+
+def test_count_is_cheap_and_matches_len(tmp_path):
+    store = TuningStore(tmp_path)
+    assert store.count() == 0 == len(store)
+    for i in range(4):
+        store.put(key(i), PlanChoice(4, 1))
+    assert store.count() == 4 == len(store)
+    # Stray non-entry files don't count.
+    (tmp_path / "scratch.tmp").write_text("x")
+    assert store.count() == 4
+
+
+def test_corrupt_entries_are_counted_and_skipped(tmp_path):
+    store = TuningStore(tmp_path)
+    store.put(key(0), PlanChoice(4, 1))
+    store.put(key(1), PlanChoice(8, 1))
+    store._path(key(0)).write_text("{ torn")
+    assert store.get(key(0)) is None
+    assert store.corrupt_entries == 1
+    # entries() skips the bad file but still validates the rest.
+    assert len(store.entries()) == 1
+    assert store.corrupt_entries == 2
+    # count() deliberately includes it: it is a file on disk.
+    assert store.count() == 2
+
+
+def test_alien_schema_counts_as_corrupt(tmp_path):
+    store = TuningStore(tmp_path)
+    store.put(key(0), PlanChoice(4, 1))
+    store._path(key(0)).write_text(json.dumps({"schema": "other/v1"}))
+    assert store.get(key(0)) is None
+    assert store.corrupt_entries == 1
+
+
+def test_missing_entry_is_a_miss_not_corruption(tmp_path):
+    store = TuningStore(tmp_path)
+    assert store.get(key(0)) is None
+    assert store.corrupt_entries == 0
+
+
+def test_bad_plan_dict_counts_as_corrupt(tmp_path):
+    store = TuningStore(tmp_path)
+    path = store.put(key(0), PlanChoice(4, 1))
+    payload = json.loads(path.read_text())
+    payload["plan"] = {"n_transport": 3, "n_qps": 1}  # not a power of 2
+    path.write_text(json.dumps(payload))
+    assert store.get(key(0)) is None
+    assert store.corrupt_entries == 1

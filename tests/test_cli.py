@@ -115,3 +115,47 @@ def test_fleet_retune_exits_by_adaptation(capsys):
     out = capsys.readouterr().out
     assert "quiet-best plan" in out
     assert "congested-best plan" in out
+
+
+def test_serve_stats_on_empty_store(capsys, tmp_path):
+    assert main(["serve", "stats", "--root", str(tmp_path / "empty")]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out
+    assert " 0" in out
+
+
+def test_serve_warm_from_store_directory(capsys, tmp_path):
+    from repro.autotune import TuningStore, workload_key
+    from repro.autotune.policy import PlanChoice
+
+    flat = TuningStore(tmp_path / "flat")
+    flat.put(workload_key(32, 1 << 20, "t", plan_space="p"),
+             PlanChoice(4, 2))
+    root = tmp_path / "serve"
+    assert main(["serve", "warm", "--root", str(root),
+                 "--source", str(tmp_path / "flat")]) == 0
+    out = capsys.readouterr().out
+    assert "1 imported" in out
+    assert main(["serve", "stats", "--root", str(root)]) == 0
+    assert " 1" in capsys.readouterr().out
+
+
+def test_serve_bench_command(capsys):
+    assert main(["serve", "bench", "--clients", "10", "--requests",
+                 "120", "--keys", "8", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "hit rate" in out
+    assert "p50 / p99" in out
+
+
+def test_autotune_show_warns_on_corrupt_entries(capsys, tmp_path):
+    from repro.autotune import TuningStore, workload_key
+    from repro.autotune.policy import PlanChoice
+
+    store = TuningStore(tmp_path)
+    path = store.put(workload_key(32, 1 << 20, "t", plan_space="p"),
+                     PlanChoice(4, 2))
+    path.write_text("{ torn")
+    assert main(["autotune", "show", "--store", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "corrupt" in captured.err

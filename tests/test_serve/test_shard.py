@@ -1,0 +1,124 @@
+"""Sharded backend: routing, versions, CAS, TuningStore compatibility."""
+
+import json
+
+import pytest
+
+from repro.autotune import TuningStore, workload_key
+from repro.autotune.policy import PlanChoice
+from repro.autotune.store import entry_digest
+from repro.errors import ConfigError
+from repro.serve import ShardedStore
+
+
+def key(i=0):
+    return workload_key(32, 32 * 4096, f"cfg{i}", plan_space="space-1")
+
+
+def choice(t=4):
+    return PlanChoice(n_transport=t, n_qps=2, delta=None)
+
+
+def test_routing_is_pure_function_of_key(tmp_path):
+    a = ShardedStore(tmp_path / "a", n_shards=4)
+    b = ShardedStore(tmp_path / "b", n_shards=4)
+    for i in range(20):
+        assert a.shard_of(key(i)) == b.shard_of(key(i))
+        assert 0 <= a.shard_of(key(i)) < 4
+
+
+def test_manifest_pins_shard_count(tmp_path):
+    ShardedStore(tmp_path, n_shards=4)
+    # Reopening without a count adopts the pinned geometry.
+    assert ShardedStore(tmp_path).n_shards == 4
+    assert ShardedStore(tmp_path, n_shards=4).n_shards == 4
+    with pytest.raises(ConfigError):
+        ShardedStore(tmp_path, n_shards=8)
+
+
+def test_commit_versions_are_monotonic(tmp_path):
+    store = ShardedStore(tmp_path, n_shards=4)
+    for expected in (1, 2, 3):
+        result = store.commit(key(), choice(2 ** expected))
+        assert result.committed
+        assert result.entry.version == expected
+    assert store.read(key()).version == 3
+    assert store.commits == 3
+
+
+def test_cas_rejects_stale_accepts_current(tmp_path):
+    store = ShardedStore(tmp_path, n_shards=4)
+    store.commit(key(), choice(4))
+    store.commit(key(), choice(8))
+    stale = store.commit(key(), choice(16), expect_version=1)
+    assert stale.conflict and not stale.committed
+    # The loser gets the winning entry back, untouched on disk.
+    assert stale.entry.version == 2
+    assert store.read(key()).choice == choice(8)
+    assert store.conflicts == 1
+    fresh = store.commit(key(), choice(16), expect_version=2)
+    assert fresh.committed and fresh.entry.version == 3
+
+
+def test_cas_on_absent_entry_expects_zero(tmp_path):
+    store = ShardedStore(tmp_path, n_shards=4)
+    missed = store.commit(key(), choice(), expect_version=3)
+    assert missed.conflict and missed.entry.version == 0
+    landed = store.commit(key(), choice(), expect_version=0)
+    assert landed.committed and landed.entry.version == 1
+
+
+def test_shard_dir_reads_as_plain_tuning_store(tmp_path):
+    store = ShardedStore(tmp_path, n_shards=4)
+    store.put(key(), choice(8), meta={"rounds_observed": 5})
+    shard_dir = store.shard_root(store.shard_of(key()))
+    direct = TuningStore(shard_dir).get(key())
+    assert direct is not None
+    assert direct.as_dict() == store.get(key()).as_dict()
+    # Same file stem as the flat store would use (content address).
+    assert (shard_dir / f"{entry_digest(key())}.json").exists()
+
+
+def test_corrupt_entries_counted_not_served(tmp_path):
+    store = ShardedStore(tmp_path, n_shards=2)
+    store.put(key(), choice())
+    path = store.path_for(key())
+    path.write_text("{ not json")
+    assert store.read(key()) is None
+    assert store.corrupt_entries == 1
+    path.write_text(json.dumps({"schema": "alien/v9"}))
+    assert store.get(key()) is None
+    assert store.corrupt_entries == 2
+
+
+def test_delete_and_counts(tmp_path):
+    store = ShardedStore(tmp_path, n_shards=2)
+    for i in range(6):
+        store.put(key(i), choice())
+    assert store.count() == 6 == len(store)
+    assert sum(store.count_shard(i) for i in range(2)) == 6
+    assert store.delete(key(0))
+    assert not store.delete(key(0))
+    assert store.count() == 5
+
+
+def test_purge_plan_space(tmp_path):
+    store = ShardedStore(tmp_path, n_shards=2)
+    for i in range(4):
+        store.put(key(i), choice())
+    other = workload_key(64, 64 * 4096, "cfg", plan_space="space-2")
+    store.put(other, choice())
+    assert store.purge_plan_space("space-1") == 4
+    assert store.count() == 1
+    assert store.get(other) is not None
+
+
+def test_entries_enumeration(tmp_path):
+    store = ShardedStore(tmp_path, n_shards=3)
+    for i in range(5):
+        store.put(key(i), choice(), meta={"i": i})
+    payloads = store.entries()
+    assert len(payloads) == 5
+    assert all(p["version"] == 1 for p in payloads)
+    served = list(store.iter_entries())
+    assert {e.meta["i"] for e in served} == set(range(5))
